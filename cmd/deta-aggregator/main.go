@@ -1,0 +1,182 @@
+// Command deta-aggregator runs one DeTA aggregator: it launches a
+// simulated SEV CVM on its host platform, attests it against the remote
+// attestation proxy (Phase I, receiving its authentication token into
+// encrypted memory), and then serves the aggregation protocol to parties
+// over TLS. One aggregator is designated the initiator; it synchronizes
+// fusion across its follower peers once all parties have uploaded
+// (paper §4.1, "Inter-Aggregator Training Synchronization").
+//
+//	deta-aggregator -id agg-1 -listen 127.0.0.1:7101 -ap 127.0.0.1:7000 \
+//	    -initiator -peers agg-2=127.0.0.1:7102,agg-3=127.0.0.1:7103
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"deta/internal/agg"
+	"deta/internal/core"
+	"deta/internal/sev"
+	"deta/internal/transport"
+)
+
+func main() {
+	id := flag.String("id", "agg-1", "aggregator identifier")
+	listen := flag.String("listen", "127.0.0.1:7101", "address to serve parties on")
+	apAddr := flag.String("ap", "127.0.0.1:7000", "attestation proxy address")
+	tlsDir := flag.String("tls-dir", "./deta-tls", "TLS materials directory (shared with the AP)")
+	tlsName := flag.String("tls-name", "127.0.0.1", "server name expected in the AP/peer certificates")
+	algorithm := flag.String("algorithm", "avg", "aggregation algorithm: avg | median | trimmed:<k>")
+	initiator := flag.Bool("initiator", false, "act as the round-sync initiator")
+	peers := flag.String("peers", "", "comma-separated follower list id=addr (initiator only)")
+	flag.Parse()
+
+	log.SetPrefix(fmt.Sprintf("deta-aggregator[%s]: ", *id))
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	alg, err := parseAlgorithm(*algorithm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mat, err := transport.LoadTLSMaterials(*tlsDir)
+	if err != nil {
+		log.Fatalf("loading TLS materials: %v", err)
+	}
+	apConn, err := mat.DialTLS(*apAddr, *tlsName)
+	if err != nil {
+		log.Fatalf("dialing AP: %v", err)
+	}
+	ap := &core.APClient{C: apConn}
+
+	// Manufacture this host's platform: generate a VCEK locally, have the
+	// vendor role endorse it.
+	vcekKey, vcekPub, err := sev.GenerateVCEK()
+	if err != nil {
+		log.Fatalf("generating VCEK: %v", err)
+	}
+	chain, err := ap.Endorse("host/"+*id, vcekPub)
+	if err != nil {
+		log.Fatalf("endorsement: %v", err)
+	}
+	platform, err := sev.NewEndorsedPlatform("host/"+*id, chain, vcekKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase I: launch the CVM paused, attest against the AP, receive the
+	// token into encrypted memory, resume.
+	cvm, err := platform.LaunchCVM(core.OVMF)
+	if err != nil {
+		log.Fatalf("launching CVM: %v", err)
+	}
+	if err := ap.AttestCVM(*id, platform, cvm); err != nil {
+		log.Fatalf("attestation failed (refusing to serve): %v", err)
+	}
+	log.Printf("CVM attested and provisioned; state=%s", cvm.State())
+
+	node, err := core.NewAggregatorNode(*id, alg, cvm)
+	if err != nil {
+		log.Fatalf("starting aggregation service: %v", err)
+	}
+	srv := transport.NewServer()
+	core.ServeAggregator(node, srv)
+
+	if *initiator {
+		followers, err := dialPeers(mat, *peers, *tlsName)
+		if err != nil {
+			log.Fatalf("dialing followers: %v", err)
+		}
+		startInitiatorSync(node, followers)
+		log.Printf("acting as initiator with %d followers", len(followers))
+	}
+
+	ln, err := mat.ListenTLS(*listen)
+	if err != nil {
+		log.Fatalf("listening on %s: %v", *listen, err)
+	}
+	log.Printf("serving %s aggregation on %s", alg.Name(), ln.Addr())
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}
+
+func parseAlgorithm(name string) (agg.Algorithm, error) {
+	switch {
+	case name == "avg":
+		return agg.IterativeAverage{}, nil
+	case name == "median":
+		return agg.CoordinateMedian{}, nil
+	case strings.HasPrefix(name, "trimmed:"):
+		var k int
+		if _, err := fmt.Sscanf(name, "trimmed:%d", &k); err != nil {
+			return nil, fmt.Errorf("bad trimmed spec %q", name)
+		}
+		return agg.TrimmedMean{Trim: k}, nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (want avg | median | trimmed:<k>)", name)
+}
+
+func dialPeers(mat *transport.TLSMaterials, spec, tlsName string) (map[string]*core.AggregatorClient, error) {
+	out := make(map[string]*core.AggregatorClient)
+	if spec == "" {
+		return out, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad peer entry %q (want id=addr)", entry)
+		}
+		c, err := mat.DialTLS(addr, tlsName)
+		if err != nil {
+			return nil, fmt.Errorf("dialing follower %s at %s: %w", id, addr, err)
+		}
+		out[id] = &core.AggregatorClient{ID: id, C: c}
+	}
+	return out, nil
+}
+
+// startInitiatorSync polls round completeness and, once the local node has
+// all uploads for a round, fuses locally and instructs followers to fuse.
+func startInitiatorSync(node *core.AggregatorNode, followers map[string]*core.AggregatorClient) {
+	go func() {
+		synced := make(map[int]bool)
+		round := 1
+		for {
+			if !synced[round] && node.Complete(round) {
+				if err := node.Aggregate(round); err != nil {
+					log.Printf("round %d: local aggregate: %v", round, err)
+				}
+				for id, f := range followers {
+					if err := syncFollower(f, round); err != nil {
+						log.Printf("round %d: follower %s: %v", round, id, err)
+					}
+				}
+				log.Printf("round %d fused across %d aggregators", round, len(followers)+1)
+				synced[round] = true
+				round++
+				continue
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+}
+
+// syncFollower waits for the follower to have all uploads, then triggers
+// its fusion.
+func syncFollower(f *core.AggregatorClient, round int) error {
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		done, err := f.Complete(round)
+		if err != nil {
+			return err
+		}
+		if done {
+			return f.Aggregate(round)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("timeout waiting for follower uploads")
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestParseAlgorithm(t *testing.T) {
+	cases := map[string]string{
+		"avg":       "iterative-averaging",
+		"median":    "coordinate-median",
+		"trimmed:2": "trimmed-mean-2",
+	}
+	for in, want := range cases {
+		alg, err := parseAlgorithm(in)
+		if err != nil {
+			t.Errorf("%q: %v", in, err)
+			continue
+		}
+		if alg.Name() != want {
+			t.Errorf("%q -> %q, want %q", in, alg.Name(), want)
+		}
+	}
+	for _, bad := range []string{"", "krumm", "trimmed:x", "trimmed"} {
+		if _, err := parseAlgorithm(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestDialPeersEmpty(t *testing.T) {
+	out, err := dialPeers(nil, "", "name")
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty spec: %v, %v", out, err)
+	}
+}
+
+func TestDialPeersBadEntry(t *testing.T) {
+	if _, err := dialPeers(nil, "no-equals-sign", "name"); err == nil {
+		t.Fatal("malformed peer entry accepted")
+	}
+}

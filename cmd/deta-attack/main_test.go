@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestPickScenarios(t *testing.T) {
+	all, err := pickScenarios("all")
+	if err != nil || len(all) != 6 {
+		t.Fatalf("all: %d scenarios, %v", len(all), err)
+	}
+	one, err := pickScenarios("Full")
+	if err != nil || len(one) != 1 || one[0].PartitionFactor != 1 {
+		t.Fatalf("Full: %v, %v", one, err)
+	}
+	sh, err := pickScenarios("0.6+shuffle")
+	if err != nil || len(sh) != 1 || !sh[0].Shuffle {
+		t.Fatalf("0.6+shuffle: %v, %v", sh, err)
+	}
+	if _, err := pickScenarios("0.9"); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,104 @@
+// Command deta-bench regenerates the paper's tables and figures
+// (DESIGN.md §4 maps each experiment ID to the artifact it reproduces).
+//
+//	deta-bench -exp fig5a                 # one experiment at default scale
+//	deta-bench -exp all -scale fast       # everything, minutes of runtime
+//	deta-bench -exp table1 -attack-images 100 -attack-iters 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"deta/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment ID or 'all'; one of: "+strings.Join(experiments.IDs(), ", "))
+	scaleName := flag.String("scale", "default", "preset scale: fast | default")
+	format := flag.String("format", "text", "output format: text | csv")
+
+	// Per-knob overrides (zero means keep the preset value).
+	samples := flag.Int("samples", 0, "samples per party")
+	rounds := flag.Int("rounds", 0, "override every workload's round count")
+	attackImages := flag.Int("attack-images", 0, "images per attack scenario (tables 1-2)")
+	attackIters := flag.Int("attack-iters", 0, "DLG/iDLG iterations")
+	igImages := flag.Int("ig-images", 0, "images for the IG grid (table 3)")
+	igIters := flag.Int("ig-iters", 0, "IG iterations")
+	paillierBits := flag.Int("paillier-bits", 0, "Paillier modulus size")
+	aggregators := flag.Int("aggregators", 0, "number of DeTA aggregators")
+	flag.Parse()
+
+	log.SetPrefix("deta-bench: ")
+	log.SetFlags(log.Ltime)
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "fast":
+		sc = experiments.FastScale()
+	case "default":
+		sc = experiments.DefaultScale()
+	default:
+		log.Fatalf("unknown scale %q (want fast | default)", *scaleName)
+	}
+	if *samples > 0 {
+		sc.SamplesPerParty = *samples
+	}
+	if *rounds > 0 {
+		sc.MNISTRounds = *rounds
+		sc.CIFARRounds = *rounds
+		sc.RVLRounds = *rounds
+		sc.PaillierRounds = *rounds
+	}
+	if *attackImages > 0 {
+		sc.AttackImages = *attackImages
+	}
+	if *attackIters > 0 {
+		sc.AttackIters = *attackIters
+	}
+	if *igImages > 0 {
+		sc.IGImages = *igImages
+	}
+	if *igIters > 0 {
+		sc.IGIters = *igIters
+	}
+	if *paillierBits > 0 {
+		sc.PaillierBits = *paillierBits
+	}
+	if *aggregators > 0 {
+		sc.Aggregators = *aggregators
+	}
+
+	var fm experiments.Format
+	switch *format {
+	case "text":
+		fm = experiments.FormatText
+	case "csv":
+		fm = experiments.FormatCSV
+	default:
+		log.Fatalf("unknown format %q (want text | csv)", *format)
+	}
+
+	var err error
+	if *exp == "all" {
+		if fm != experiments.FormatText {
+			for _, id := range experiments.IDs() {
+				fmt.Printf("### experiment %s\n", id)
+				if err = experiments.RunFormatted(id, sc, fm, os.Stdout); err != nil {
+					break
+				}
+			}
+		} else {
+			err = experiments.RunAll(sc, os.Stdout)
+		}
+	} else {
+		err = experiments.RunFormatted(*exp, sc, fm, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deta-bench: %v\n", err)
+		os.Exit(1)
+	}
+}

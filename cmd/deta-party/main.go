@@ -1,0 +1,190 @@
+// Command deta-party runs one FL participant against a deployed DeTA
+// fleet: it registers with the key broker, verifies every aggregator via
+// the Phase II challenge-response, and then trains for the configured
+// number of rounds, uploading partitioned+shuffled fragments and merging
+// the aggregated results.
+//
+//	deta-party -id P1 -index 0 -parties 4 -ap 127.0.0.1:7000 \
+//	    -aggregators agg-1=127.0.0.1:7101,agg-2=127.0.0.1:7102,agg-3=127.0.0.1:7103
+//
+// All parties must share -parties, -rounds, -dataset, and -mapper-seed so
+// they derive identical mappers and data splits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"time"
+
+	"deta/internal/attest"
+	"deta/internal/core"
+	"deta/internal/dataset"
+	"deta/internal/fl"
+	"deta/internal/nn"
+	"deta/internal/tensor"
+	"deta/internal/transport"
+)
+
+func main() {
+	id := flag.String("id", "P1", "party identifier (must be unique)")
+	index := flag.Int("index", 0, "this party's shard index in [0, parties)")
+	parties := flag.Int("parties", 4, "total number of parties")
+	apAddr := flag.String("ap", "127.0.0.1:7000", "attestation proxy / key broker address")
+	aggSpec := flag.String("aggregators", "agg-1=127.0.0.1:7101", "comma-separated id=addr aggregator list")
+	tlsDir := flag.String("tls-dir", "./deta-tls", "TLS materials directory (shared with the AP)")
+	tlsName := flag.String("tls-name", "127.0.0.1", "expected TLS server name")
+	rounds := flag.Int("rounds", 5, "training rounds")
+	localEpochs := flag.Int("local-epochs", 1, "local epochs per round")
+	samples := flag.Int("samples", 64, "training samples per party")
+	batch := flag.Int("batch", 8, "batch size")
+	lr := flag.Float64("lr", 0.05, "learning rate")
+	dataSeed := flag.String("dataset-seed", "deta-cli-data", "shared dataset seed")
+	mapperSeed := flag.String("mapper-seed", "deta-cli-mapper", "shared model-mapper seed")
+	noShuffle := flag.Bool("no-shuffle", false, "disable parameter shuffling (partition only)")
+	flag.Parse()
+
+	log.SetPrefix(fmt.Sprintf("deta-party[%s]: ", *id))
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	if *index < 0 || *index >= *parties {
+		log.Fatalf("index %d out of range [0,%d)", *index, *parties)
+	}
+
+	mat, err := transport.LoadTLSMaterials(*tlsDir)
+	if err != nil {
+		log.Fatalf("loading TLS materials: %v", err)
+	}
+	apConn, err := mat.DialTLS(*apAddr, *tlsName)
+	if err != nil {
+		log.Fatalf("dialing AP: %v", err)
+	}
+	ap := &core.APClient{C: apConn}
+
+	// Dial every aggregator, in a stable order.
+	aggs, order, err := dialAggregators(mat, *aggSpec, *tlsName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase II: verify each aggregator's token before registering.
+	for _, aggID := range order {
+		pub, err := ap.TokenPubKey(aggID)
+		if err != nil {
+			log.Fatalf("fetching token key for %s: %v", aggID, err)
+		}
+		if err := core.VerifyAndRegister(aggs[aggID], pub, *id, attest.NewNonce, attest.VerifyChallenge); err != nil {
+			log.Fatalf("refusing to train: %v", err)
+		}
+		log.Printf("verified and registered with %s", aggID)
+	}
+
+	// Key broker: register and fetch the shared permutation key.
+	if err := ap.RegisterParty(*id); err != nil {
+		log.Fatalf("broker registration: %v", err)
+	}
+	permKey, err := ap.PermKey(*id)
+	if err != nil {
+		log.Fatalf("fetching permutation key: %v", err)
+	}
+	shuffler, err := core.NewShuffler(permKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Local data: shard index of a shared synthetic MNIST-like dataset.
+	spec := dataset.MNIST
+	train, _ := dataset.TrainTest(spec, *parties**samples, 1, []byte(*dataSeed))
+	shard := dataset.SplitIID(train, *parties, []byte(*dataSeed+"/split"))[*index]
+	log.Printf("local shard: %d examples", shard.Len())
+
+	build := func() *nn.Network { return nn.ConvNet8(spec.C, spec.H, spec.W, spec.Classes) }
+	cfg := fl.Config{
+		Mode: fl.FedAvg, Rounds: *rounds, LocalEpochs: *localEpochs,
+		BatchSize: *batch, LR: *lr, Momentum: 0.9, Seed: []byte(*dataSeed + "/cfg"),
+	}
+	party := fl.NewParty(*id, build, shard, cfg)
+
+	// Shared mapper: equal proportions across the fleet.
+	model := build()
+	mapper, err := core.NewMapper(model.NumParams(), core.EqualProportions(len(order)), []byte(*mapperSeed))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Initial model: shared seed.
+	net := build()
+	net.Init([]byte(*dataSeed + "/init"))
+	global := net.Params()
+
+	for round := 1; round <= *rounds; round++ {
+		roundID, err := ap.RoundID(round)
+		if err != nil {
+			log.Fatalf("round %d: fetching round ID: %v", round, err)
+		}
+		update, loss, err := party.LocalUpdate(global, round)
+		if err != nil {
+			log.Fatalf("round %d: local training: %v", round, err)
+		}
+		frags, err := core.Transform(mapper, shuffler, update, roundID, !*noShuffle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for j, aggID := range order {
+			if err := aggs[aggID].Upload(round, *id, frags[j], float64(shard.Len())); err != nil {
+				log.Fatalf("round %d: upload to %s: %v", round, aggID, err)
+			}
+		}
+		// Download aggregated fragments (the initiator aggregator fuses
+		// once all parties upload; poll until available).
+		merged := make([]tensor.Vector, len(order))
+		for j, aggID := range order {
+			merged[j], err = pollDownload(aggs[aggID], round, *id)
+			if err != nil {
+				log.Fatalf("round %d: download from %s: %v", round, aggID, err)
+			}
+		}
+		global, err = core.InverseTransform(mapper, shuffler, merged, roundID, !*noShuffle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("round %d done: local train loss %.4f", round, loss)
+	}
+	log.Printf("training complete (%d rounds)", *rounds)
+}
+
+func dialAggregators(mat *transport.TLSMaterials, spec, tlsName string) (map[string]*core.AggregatorClient, []string, error) {
+	out := make(map[string]*core.AggregatorClient)
+	var order []string
+	for _, entry := range strings.Split(spec, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("bad aggregator entry %q (want id=addr)", entry)
+		}
+		c, err := mat.DialTLS(addr, tlsName)
+		if err != nil {
+			return nil, nil, fmt.Errorf("dialing %s at %s: %w", id, addr, err)
+		}
+		out[id] = &core.AggregatorClient{ID: id, C: c}
+		order = append(order, id)
+	}
+	sort.Strings(order)
+	return out, order, nil
+}
+
+func pollDownload(a *core.AggregatorClient, round int, partyID string) (tensor.Vector, error) {
+	deadline := time.Now().Add(5 * time.Minute)
+	for time.Now().Before(deadline) {
+		frag, err := a.Download(round, partyID)
+		if err == nil {
+			return frag, nil
+		}
+		if !strings.Contains(err.Error(), "not aggregated") {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("timeout waiting for aggregated fragment")
+}

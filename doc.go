@@ -1,0 +1,12 @@
+// Package deta is a from-scratch, stdlib-only Go reproduction of
+// "DeTA: Minimizing Data Leaks in Federated Learning via Decentralized and
+// Trustworthy Aggregation" (EuroSys 2024).
+//
+// The implementation lives under internal/: see internal/core for DeTA
+// itself (model mapper, parameter shuffling, decentralized attested
+// aggregators), internal/fl for the baseline FL framework, internal/attack
+// for the DLG/iDLG/IG data-reconstruction attacks, and
+// internal/experiments for the runners that regenerate every table and
+// figure of the paper. README.md and DESIGN.md document the architecture;
+// EXPERIMENTS.md records paper-vs-measured results.
+package deta

@@ -1,0 +1,3 @@
+module deta
+
+go 1.22

@@ -1,0 +1,338 @@
+package agg
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deta/internal/rng"
+	"deta/internal/tensor"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func vecsAlmostEq(a, b tensor.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !almostEq(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIterativeAverageUnweighted(t *testing.T) {
+	got, err := (IterativeAverage{}).Aggregate([]tensor.Vector{{1, 2}, {3, 4}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsAlmostEq(got, tensor.Vector{2, 3}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIterativeAverageWeighted(t *testing.T) {
+	// Weight by data sizes 1:3 -> (1*1 + 3*5)/4 = 4.
+	got, err := (IterativeAverage{}).Aggregate([]tensor.Vector{{1}, {5}}, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got[0], 4) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	algs := []Algorithm{
+		IterativeAverage{}, CoordinateMedian{}, TrimmedMean{Trim: 0},
+		Krum{F: 0}, MultiKrum{F: 0, M: 1}, FLAMELite{},
+	}
+	for _, a := range algs {
+		if _, err := a.Aggregate(nil, nil); !errors.Is(err, ErrNoUpdates) {
+			t.Errorf("%s: empty input: err = %v", a.Name(), err)
+		}
+		if _, err := a.Aggregate([]tensor.Vector{{1}, {1, 2}}, nil); err == nil {
+			t.Errorf("%s: ragged input accepted", a.Name())
+		}
+	}
+	if _, err := (IterativeAverage{}).Aggregate([]tensor.Vector{{1}}, []float64{1, 2}); err == nil {
+		t.Error("weight-count mismatch accepted")
+	}
+	if _, err := (IterativeAverage{}).Aggregate([]tensor.Vector{{1}}, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := (IterativeAverage{}).Aggregate([]tensor.Vector{{1}}, []float64{0}); err == nil {
+		t.Error("zero weight sum accepted")
+	}
+}
+
+func TestCoordinateMedianOddEven(t *testing.T) {
+	got, err := (CoordinateMedian{}).Aggregate([]tensor.Vector{{1, 10}, {2, 20}, {100, -5}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecsAlmostEq(got, tensor.Vector{2, 10}) {
+		t.Fatalf("odd median got %v", got)
+	}
+	got, err = (CoordinateMedian{}).Aggregate([]tensor.Vector{{1}, {3}, {5}, {7}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got[0], 4) {
+		t.Fatalf("even median got %v", got)
+	}
+}
+
+func TestCoordinateMedianResistsOutlier(t *testing.T) {
+	honest := []tensor.Vector{{1, 1}, {1.1, 0.9}, {0.9, 1.1}}
+	poisoned := append(honest, tensor.Vector{1e9, -1e9})
+	got, err := (CoordinateMedian{}).Aggregate(poisoned, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if math.Abs(v) > 10 {
+			t.Fatalf("median influenced by outlier: %v", got)
+		}
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	got, err := (TrimmedMean{Trim: 1}).Aggregate(
+		[]tensor.Vector{{-100}, {1}, {2}, {3}, {100}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got[0], 2) {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := (TrimmedMean{Trim: 3}).Aggregate([]tensor.Vector{{1}, {2}, {3}}, nil); err == nil {
+		t.Fatal("excessive trim accepted")
+	}
+	if _, err := (TrimmedMean{Trim: -1}).Aggregate([]tensor.Vector{{1}, {2}, {3}}, nil); err == nil {
+		t.Fatal("negative trim accepted")
+	}
+}
+
+func TestKrumPicksHonestUpdate(t *testing.T) {
+	honest := []tensor.Vector{
+		{1, 1, 1}, {1.1, 1, 0.9}, {0.9, 1.1, 1}, {1, 0.95, 1.05},
+	}
+	updates := append([]tensor.Vector{}, honest...)
+	updates = append(updates, tensor.Vector{50, -50, 50}) // Byzantine
+	idx, err := (Krum{F: 1}).Select(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx == len(updates)-1 {
+		t.Fatal("Krum selected the Byzantine update")
+	}
+	out, err := (Krum{F: 1}).Aggregate(updates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.Norm(out) > 10 {
+		t.Fatalf("Krum output contaminated: %v", out)
+	}
+}
+
+func TestKrumParameterValidation(t *testing.T) {
+	if _, err := (Krum{F: 2}).Select([]tensor.Vector{{1}, {2}, {3}}); err == nil {
+		t.Fatal("krum with n-f-2 < 1 accepted")
+	}
+	if _, err := (Krum{F: -1}).Select([]tensor.Vector{{1}, {2}, {3}}); err == nil {
+		t.Fatal("negative f accepted")
+	}
+}
+
+func TestMultiKrum(t *testing.T) {
+	updates := []tensor.Vector{
+		{1, 1}, {1.1, 0.9}, {0.9, 1.1}, {1.05, 0.95}, {100, 100},
+	}
+	out, err := (MultiKrum{F: 1, M: 2}).Aggregate(updates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-1) > 0.5 || math.Abs(out[1]-1) > 0.5 {
+		t.Fatalf("multi-krum contaminated: %v", out)
+	}
+	if _, err := (MultiKrum{F: 0, M: 0}).Aggregate(updates, nil); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := (MultiKrum{F: 0, M: 9}).Aggregate(updates, nil); err == nil {
+		t.Fatal("m>n accepted")
+	}
+}
+
+func TestFLAMEDropsPoisonedUpdate(t *testing.T) {
+	s := rng.NewStream([]byte("flame"), "updates")
+	honest := make([]tensor.Vector, 6)
+	for i := range honest {
+		v := make(tensor.Vector, 20)
+		for j := range v {
+			v[j] = 1 + 0.05*s.NormFloat64()
+		}
+		honest[i] = v
+	}
+	poison := make(tensor.Vector, 20)
+	for j := range poison {
+		poison[j] = -5 + 0.05*s.NormFloat64() // opposite direction
+	}
+	updates := append(append([]tensor.Vector{}, honest...), poison)
+	out, err := (FLAMELite{}).Aggregate(updates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := tensor.Mean(out)
+	if mean < 0.5 {
+		t.Fatalf("FLAME admitted poison: mean %v", mean)
+	}
+}
+
+func TestFLAMESmallN(t *testing.T) {
+	out, err := (FLAMELite{}).Aggregate([]tensor.Vector{{2}, {4}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(out[0], 3) {
+		t.Fatalf("got %v", out)
+	}
+}
+
+func TestPaillierFusionMatchesAverage(t *testing.T) {
+	pf, err := NewPaillierFusion(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updates := []tensor.Vector{{0.5, -1.5, 2.25}, {1.5, 0.5, -0.25}}
+	got, err := pf.Aggregate(updates, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := (IterativeAverage{}).Aggregate(updates, nil)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("paillier fusion %v, plaintext average %v", got, want)
+		}
+	}
+}
+
+func TestPaillierFusionStages(t *testing.T) {
+	pf, err := NewPaillierFusion(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tensor.Vector{1, 2}
+	b := tensor.Vector{3, 4}
+	ca, err := pf.EncryptUpdate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := pf.EncryptUpdate(b)
+	fused, err := pf.FuseCiphertexts(ca, cb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := pf.DecryptAverage(fused, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avg[0]-2) > 1e-6 || math.Abs(avg[1]-3) > 1e-6 {
+		t.Fatalf("avg %v", avg)
+	}
+	if _, err := pf.DecryptAverage(fused, 0); err == nil {
+		t.Fatal("count=0 accepted")
+	}
+}
+
+// Property: averaging is permutation-equivariant — the foundation of DeTA.
+// For random updates and a random permutation P, Agg(P(u_1..u_k)) ==
+// P(Agg(u_1..u_k)) coordinate-wise.
+func TestAggregationPermutationEquivariance(t *testing.T) {
+	algs := []Algorithm{IterativeAverage{}, CoordinateMedian{}, TrimmedMean{Trim: 1}}
+	f := func(seed uint32) bool {
+		s := rng.NewStream([]byte{byte(seed), byte(seed >> 8)}, "equivariance")
+		const n, k = 17, 5
+		updates := make([]tensor.Vector, k)
+		for i := range updates {
+			v := make(tensor.Vector, n)
+			for j := range v {
+				v[j] = s.NormFloat64()
+			}
+			updates[i] = v
+		}
+		perm := s.Perm(n)
+		permute := func(v tensor.Vector) tensor.Vector {
+			out := make(tensor.Vector, n)
+			for i, p := range perm {
+				out[i] = v[p]
+			}
+			return out
+		}
+		for _, alg := range algs {
+			plain, err := alg.Aggregate(updates, nil)
+			if err != nil {
+				return false
+			}
+			shuffled := make([]tensor.Vector, k)
+			for i, u := range updates {
+				shuffled[i] = permute(u)
+			}
+			aggShuffled, err := alg.Aggregate(shuffled, nil)
+			if err != nil {
+				return false
+			}
+			if !vecsAlmostEq(aggShuffled, permute(plain)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: partition-then-aggregate equals aggregate-then-partition for
+// coordinate-wise algorithms — decentralized aggregation is exact.
+func TestAggregationPartitionEquivariance(t *testing.T) {
+	algs := []Algorithm{IterativeAverage{}, CoordinateMedian{}, TrimmedMean{Trim: 1}}
+	s := rng.NewStream([]byte("partition-prop"), "x")
+	const n, k = 24, 5
+	updates := make([]tensor.Vector, k)
+	for i := range updates {
+		v := make(tensor.Vector, n)
+		for j := range v {
+			v[j] = s.NormFloat64()
+		}
+		updates[i] = v
+	}
+	cut := 10 // split coordinates [0,10) and [10,24)
+	for _, alg := range algs {
+		whole, err := alg.Aggregate(updates, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		left := make([]tensor.Vector, k)
+		right := make([]tensor.Vector, k)
+		for i, u := range updates {
+			left[i] = u[:cut]
+			right[i] = u[cut:]
+		}
+		aggL, err := alg.Aggregate(left, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		aggR, err := alg.Aggregate(right, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged := append(aggL.Clone(), aggR...)
+		if !vecsAlmostEq(merged, whole) {
+			t.Fatalf("%s: partitioned aggregation differs from central", alg.Name())
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package agg
+
+import (
+	"fmt"
+	"testing"
+
+	"deta/internal/rng"
+	"deta/internal/tensor"
+)
+
+func benchUpdates(parties, n int) []tensor.Vector {
+	s := rng.NewStream([]byte("agg-bench"), "updates")
+	out := make([]tensor.Vector, parties)
+	for p := range out {
+		v := make(tensor.Vector, n)
+		for i := range v {
+			v[i] = s.NormFloat64()
+		}
+		out[p] = v
+	}
+	return out
+}
+
+func benchAlgorithm(b *testing.B, alg Algorithm, parties, n int) {
+	b.Helper()
+	updates := benchUpdates(parties, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alg.Aggregate(updates, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIterativeAverage(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			benchAlgorithm(b, IterativeAverage{}, 8, n)
+		})
+	}
+}
+
+func BenchmarkCoordinateMedian(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 16} {
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			benchAlgorithm(b, CoordinateMedian{}, 8, n)
+		})
+	}
+}
+
+func BenchmarkTrimmedMean(b *testing.B) {
+	benchAlgorithm(b, TrimmedMean{Trim: 1}, 8, 1<<14)
+}
+
+func BenchmarkKrum(b *testing.B) {
+	benchAlgorithm(b, Krum{F: 1}, 8, 1<<14)
+}
+
+func BenchmarkFLAMELite(b *testing.B) {
+	benchAlgorithm(b, FLAMELite{}, 8, 1<<14)
+}
+
+func BenchmarkPaillierFusion(b *testing.B) {
+	pf, err := NewPaillierFusion(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Small vector: each element costs a full Paillier encrypt + decrypt.
+	benchAlgorithm(b, pf, 4, 64)
+}

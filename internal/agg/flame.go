@@ -1,0 +1,94 @@
+package agg
+
+import (
+	"math"
+	"sort"
+
+	"deta/internal/tensor"
+)
+
+// FLAMELite is a simplified FLAME (Nguyen et al.) defense: it clusters
+// updates by pairwise cosine distance, keeps the majority cluster, clips
+// the survivors to the median L2 norm, and averages. The full system uses
+// HDBSCAN and adds DP noise; this reduction keeps the properties DeTA's
+// analysis relies on — cosine distances and norms are invariant under
+// permutation, so the defense composes with parameter shuffling, and under
+// partitioning each aggregator clusters its fragment independently.
+type FLAMELite struct{}
+
+// Name implements Algorithm.
+func (FLAMELite) Name() string { return "flame-lite" }
+
+// Aggregate implements Algorithm. Weights are ignored (FLAME equal-weights
+// admitted updates).
+func (FLAMELite) Aggregate(updates []tensor.Vector, weights []float64) (tensor.Vector, error) {
+	if _, err := validate(updates, nil); err != nil {
+		return nil, err
+	}
+	n := len(updates)
+	if n < 3 {
+		return IterativeAverage{}.Aggregate(updates, nil)
+	}
+	// Pairwise cosine distances.
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d, err := tensor.CosineDistance(updates[i], updates[j])
+			if err != nil {
+				return nil, err
+			}
+			dist[i][j], dist[j][i] = d, d
+		}
+	}
+	// An update's score is its median distance to the others; admit those
+	// within the tolerance band above the overall median score. Outliers
+	// (poisoned updates pointing elsewhere) score high and are dropped.
+	scores := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ds := make([]float64, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				ds = append(ds, dist[i][j])
+			}
+		}
+		scores[i] = median(ds)
+	}
+	sorted := append([]float64(nil), scores...)
+	sort.Float64s(sorted)
+	medScore := sorted[len(sorted)/2]
+	// Median absolute deviation for the tolerance band.
+	devs := make([]float64, n)
+	for i, s := range scores {
+		devs[i] = math.Abs(s - medScore)
+	}
+	mad := median(devs)
+	limit := medScore + 3*mad + 1e-12
+
+	var admitted []tensor.Vector
+	for i, s := range scores {
+		if s <= limit {
+			admitted = append(admitted, updates[i])
+		}
+	}
+	if len(admitted) == 0 {
+		admitted = updates
+	}
+	// Clip admitted updates to the median norm.
+	norms := make([]float64, len(admitted))
+	for i, u := range admitted {
+		norms[i] = tensor.Norm(u)
+	}
+	medNorm := median(append([]float64(nil), norms...))
+	clipped := make([]tensor.Vector, len(admitted))
+	for i, u := range admitted {
+		if norms[i] > medNorm && norms[i] > 0 {
+			clipped[i] = tensor.Scale(medNorm/norms[i], u)
+		} else {
+			clipped[i] = u
+		}
+	}
+	return IterativeAverage{}.Aggregate(clipped, nil)
+}

@@ -1,0 +1,90 @@
+package agg
+
+import (
+	"fmt"
+
+	"deta/internal/paillier"
+	"deta/internal/tensor"
+)
+
+// PaillierFusion aggregates under additively homomorphic encryption
+// (Liu et al., Truex et al.): parties encrypt their updates with a shared
+// public key from a trusted key broker, the aggregator sums ciphertexts
+// without seeing plaintexts, and parties decrypt the fused result.
+//
+// Aggregate runs all three stages so it can stand in for the end-to-end
+// cost in experiments — encryption/decryption dominating the latency is
+// exactly the effect Figure 5f measures (and why DeTA's partitioning
+// *speeds up* Paillier fusion: each aggregator's fragment is smaller and
+// the per-party crypto parallelizes across partitions).
+type PaillierFusion struct {
+	Key *paillier.PrivateKey
+}
+
+// NewPaillierFusion creates the fusion algorithm with a fresh key pair of
+// the given modulus size.
+func NewPaillierFusion(bits int) (*PaillierFusion, error) {
+	key, err := paillier.GenerateKey(bits)
+	if err != nil {
+		return nil, err
+	}
+	return &PaillierFusion{Key: key}, nil
+}
+
+// Name implements Algorithm.
+func (*PaillierFusion) Name() string { return "paillier-fusion" }
+
+// Aggregate implements Algorithm: encrypt each update scaled by its
+// normalized weight, homomorphically sum, and decrypt the fused result.
+func (p *PaillierFusion) Aggregate(updates []tensor.Vector, weights []float64) (tensor.Vector, error) {
+	if _, err := validate(updates, weights); err != nil {
+		return nil, err
+	}
+	w, err := normWeights(len(updates), weights)
+	if err != nil {
+		return nil, err
+	}
+	// Party side: encrypt weighted updates.
+	encrypted := make([][]*paillier.Ciphertext, len(updates))
+	for i, u := range updates {
+		scaled := tensor.Scale(w[i], u)
+		encrypted[i], err = p.Key.EncryptVector(scaled)
+		if err != nil {
+			return nil, fmt.Errorf("agg: paillier encrypt party %d: %w", i, err)
+		}
+	}
+	// Aggregator side: ciphertext-only sum.
+	fused, err := p.Key.AddVectors(encrypted...)
+	if err != nil {
+		return nil, err
+	}
+	// Party side: decrypt the fused update.
+	out, err := p.Key.DecryptVector(fused)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.Vector(out), nil
+}
+
+// EncryptUpdate is the party-side stage alone (for protocol-level use).
+func (p *PaillierFusion) EncryptUpdate(u tensor.Vector) ([]*paillier.Ciphertext, error) {
+	return p.Key.EncryptVector(u)
+}
+
+// FuseCiphertexts is the aggregator-side stage alone. It never touches
+// plaintext.
+func (p *PaillierFusion) FuseCiphertexts(cts ...[]*paillier.Ciphertext) ([]*paillier.Ciphertext, error) {
+	return p.Key.PublicKey.AddVectors(cts...)
+}
+
+// DecryptAverage decrypts a fused ciphertext vector and divides by count.
+func (p *PaillierFusion) DecryptAverage(ct []*paillier.Ciphertext, count int) (tensor.Vector, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("agg: count %d must be positive", count)
+	}
+	out, err := p.Key.DecryptVector(ct)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.ScaleInPlace(1/float64(count), tensor.Vector(out)), nil
+}

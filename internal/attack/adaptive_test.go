@@ -1,0 +1,128 @@
+package attack
+
+import (
+	"testing"
+)
+
+// Adaptive adversary (leaked model mapper) tests: the defense-in-depth
+// claim is that partitioning alone relies on mapper secrecy, while
+// shuffling protects even when the mapper leaks (the permutation key never
+// leaves the broker).
+
+func TestKnownMapperRestoresPartitionOnlyAttack(t *testing.T) {
+	_, o := tinyModel(t)
+	x := tinyInput("adaptive-victim", 16)
+	grad, err := o.VictimGradient(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without the mapper, the 0.6 partition defeats DLG.
+	blind, err := Observe(grad, ScenarioP06, []byte("s"), []byte("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DLGConfig{Iterations: 250, LR: 0.3}
+	blindRes, err := DLG(o, blind, x, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// With the mapper, the adversary aligns its 60% of coordinates
+	// correctly and reconstruction quality improves dramatically.
+	known, err := ObserveWithMapper(grad, ScenarioP06, []byte("s"), []byte("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	knownRes, err := DLG(o, known, x, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if knownRes.MSE > blindRes.MSE/10 {
+		t.Fatalf("known mapper did not restore the attack: known MSE %v vs blind MSE %v",
+			knownRes.MSE, blindRes.MSE)
+	}
+	if knownRes.MSE > 0.05 {
+		t.Fatalf("known-mapper partition-only attack should approach reconstruction: MSE %v", knownRes.MSE)
+	}
+}
+
+func TestKnownMapperDoesNotDefeatShuffling(t *testing.T) {
+	_, o := tinyModel(t)
+	x := tinyInput("adaptive-victim-2", 16)
+	grad, err := o.VictimGradient(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known, err := ObserveWithMapper(grad, ScenarioP06Shuffle, []byte("s"), []byte("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DLGConfig{Iterations: 200, LR: 0.3}
+	res, err := DLG(o, known, x, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MSE < 0.05 {
+		t.Fatalf("shuffled fragment reconstructed despite unknown permutation key: MSE %v", res.MSE)
+	}
+}
+
+func TestObserveWithMapperFullIsIdentityAlignment(t *testing.T) {
+	_, o := tinyModel(t)
+	x := tinyInput("adaptive-full", 16)
+	grad, err := o.VictimGradient(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := ObserveWithMapper(grad, ScenarioFull, []byte("s"), []byte("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.KnownIndices) != len(grad) {
+		t.Fatalf("full observation indices = %d, want %d", len(obs.KnownIndices), len(grad))
+	}
+	for i, idx := range obs.KnownIndices {
+		if idx != i {
+			t.Fatalf("full observation index %d maps to %d", i, idx)
+		}
+	}
+	// Cost against the victim's own gradient must be exactly zero.
+	v, cost := obs.AlignedDiff(grad)
+	if cost != 0 {
+		t.Fatalf("self-cost = %v", cost)
+	}
+	for _, d := range v {
+		if d != 0 {
+			t.Fatal("nonzero residual against own gradient")
+		}
+	}
+}
+
+func TestCosineAlignmentKnownIndices(t *testing.T) {
+	_, o := tinyModel(t)
+	x := tinyInput("adaptive-cos", 16)
+	grad, err := o.VictimGradient(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := ObserveWithMapper(grad, ScenarioP06, []byte("s"), []byte("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Against the victim's own gradient, the correctly aligned cosine
+	// distance is exactly 0.
+	_, dist := obs.CosineAlignment(grad)
+	if dist > 1e-12 {
+		t.Fatalf("aligned self cosine distance = %v", dist)
+	}
+	// Blind alignment of the same fragment is far from 0.
+	blind, err := Observe(grad, ScenarioP06, []byte("s"), []byte("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, blindDist := blind.CosineAlignment(grad)
+	if blindDist < 0.1 {
+		t.Fatalf("blind alignment suspiciously good: %v", blindDist)
+	}
+}

@@ -1,0 +1,314 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"deta/internal/nn"
+	"deta/internal/rng"
+	"deta/internal/tensor"
+)
+
+// tinyModel returns a small MLP and an oracle over it, with enough
+// parameters relative to the input for gradient matching to be
+// well-determined (first-layer weight gradients are rank-one outer
+// products delta x^T, which pin down x).
+func tinyModel(t testing.TB) (*nn.Network, *Oracle) {
+	t.Helper()
+	net := nn.MLP("attack-mlp", 16, 12, 4)
+	net.Init([]byte("attack-model"))
+	return net, NewOracle(net)
+}
+
+func tinyInput(seed string, n int) []float64 {
+	st := rng.NewStream([]byte(seed), "victim")
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = st.Float64()
+	}
+	return x
+}
+
+func fullObservation(t testing.TB, o *Oracle, x []float64, label int) *Observation {
+	t.Helper()
+	grad, err := o.VictimGradient(x, label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := Observe(grad, ScenarioFull, []byte("obs-seed"), []byte("round-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obs
+}
+
+// The finite-difference JTv machinery must match full numerical
+// differentiation of the gradient-matching cost.
+func TestJTvMatchesNumericalCostGradient(t *testing.T) {
+	_, o := tinyModel(t)
+	x := tinyInput("jtv", 16)
+	target := []float64{0.1, 0.2, 0.3, 0.4}
+	obs := fullObservation(t, o, tinyInput("victim-x", 16), 2)
+
+	costAt := func(xe []float64) float64 {
+		g, _, err := o.DummyGradient(xe, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, c := obs.AlignedDiff(g)
+		return c
+	}
+
+	g, _, err := o.DummyGradient(x, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := obs.AlignedDiff(g)
+	dx, _, err := o.JTv(x, target, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const eps = 1e-5
+	for _, i := range []int{0, 5, 11, 15} {
+		orig := x[i]
+		x[i] = orig + eps
+		cp := costAt(x)
+		x[i] = orig - eps
+		cm := costAt(x)
+		x[i] = orig
+		num := (cp - cm) / (2 * eps)
+		analytic := 2 * dx[i]
+		if math.Abs(num-analytic) > 1e-3*(1+math.Abs(num)) {
+			t.Errorf("coord %d: analytic %v, numerical %v", i, analytic, num)
+		}
+	}
+}
+
+func TestJTvZeroDirection(t *testing.T) {
+	_, o := tinyModel(t)
+	x := tinyInput("z", 16)
+	target := []float64{1, 0, 0, 0}
+	dx, dt, err := o.JTv(x, target, make(tensor.Vector, o.Net.NumParams()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range dx {
+		if v != 0 {
+			t.Fatal("zero direction produced nonzero dx")
+		}
+	}
+	for _, v := range dt {
+		if v != 0 {
+			t.Fatal("zero direction produced nonzero dt")
+		}
+	}
+}
+
+func TestObserveValidation(t *testing.T) {
+	g := make(tensor.Vector, 10)
+	if _, err := Observe(g, Scenario{PartitionFactor: 0}, nil, nil); err == nil {
+		t.Error("zero partition factor accepted")
+	}
+	if _, err := Observe(g, Scenario{PartitionFactor: 1.5}, nil, nil); err == nil {
+		t.Error("partition factor > 1 accepted")
+	}
+}
+
+func TestObserveSizes(t *testing.T) {
+	g := make(tensor.Vector, 1000)
+	for i := range g {
+		g[i] = float64(i)
+	}
+	for _, sc := range TableScenarios {
+		obs, err := Observe(g, sc, []byte("s"), []byte("r"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(1000*sc.PartitionFactor + 0.5)
+		if sc.PartitionFactor == 1 {
+			want = 1000
+		}
+		if len(obs.Observed) != want {
+			t.Errorf("%s: observed %d values, want %d", sc.Name, len(obs.Observed), want)
+		}
+	}
+}
+
+func TestObserveShuffleChangesOrder(t *testing.T) {
+	g := make(tensor.Vector, 256)
+	for i := range g {
+		g[i] = float64(i)
+	}
+	plain, _ := Observe(g, ScenarioFull, []byte("s"), []byte("r"))
+	shuf, _ := Observe(g, ScenarioFullShuffle, []byte("s"), []byte("r"))
+	diff := 0
+	for i := range plain.Observed {
+		if plain.Observed[i] != shuf.Observed[i] {
+			diff++
+		}
+	}
+	if diff < 128 {
+		t.Fatalf("shuffled observation too similar: %d/256 differ", diff)
+	}
+}
+
+func TestInferLabeliDLGFullObservation(t *testing.T) {
+	_, o := tinyModel(t)
+	// The sign rule must recover the label for several labels and inputs.
+	for label := 0; label < 4; label++ {
+		x := tinyInput("label-test", 16)
+		obs := fullObservation(t, o, x, label)
+		if got := InferLabeliDLG(o, obs); got != label {
+			t.Errorf("inferred %d, want %d", got, label)
+		}
+	}
+}
+
+func TestDLGReconstructsWithFullObservation(t *testing.T) {
+	_, o := tinyModel(t)
+	x := tinyInput("dlg-victim", 16)
+	obs := fullObservation(t, o, x, 1)
+	res, err := DLG(o, obs, x, 1, DLGConfig{Iterations: 200, LR: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MSE > 1e-2 {
+		t.Fatalf("DLG with full observation failed: MSE %v", res.MSE)
+	}
+}
+
+func TestDLGFailsUnderShuffle(t *testing.T) {
+	_, o := tinyModel(t)
+	x := tinyInput("dlg-victim-2", 16)
+	grad, err := o.VictimGradient(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := Observe(grad, ScenarioFullShuffle, []byte("s"), []byte("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DLG(o, obs, x, 2, DLGConfig{Iterations: 200, LR: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := fullObservation(t, o, x, 2)
+	base, err := DLG(o, full, x, 2, DLGConfig{Iterations: 200, LR: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MSE < 10*base.MSE {
+		t.Fatalf("shuffle did not degrade DLG: shuffled MSE %v vs full MSE %v", res.MSE, base.MSE)
+	}
+}
+
+func TestIDLGReconstructsWithFullObservation(t *testing.T) {
+	_, o := tinyModel(t)
+	x := tinyInput("idlg-victim", 16)
+	obs := fullObservation(t, o, x, 3)
+	res, err := IDLG(o, obs, x, 3, DLGConfig{Iterations: 200, LR: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InferredLabel != 3 {
+		t.Errorf("inferred label %d, want 3", res.InferredLabel)
+	}
+	if res.MSE > 1e-2 {
+		t.Fatalf("iDLG with full observation failed: MSE %v", res.MSE)
+	}
+}
+
+func TestIGConvergesWithFullObservation(t *testing.T) {
+	_, o := tinyModel(t)
+	x := tinyInput("ig-victim", 16)
+	obs := fullObservation(t, o, x, 0)
+	res, err := IG(o, obs, x, 0, IGConfig{
+		Iterations: 300, Restarts: 1, LR: 0.05, TVWeight: 1e-4,
+		Channels: 1, Height: 4, Width: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CosineDist > 0.05 {
+		t.Fatalf("IG with full observation did not converge: cosine distance %v", res.CosineDist)
+	}
+}
+
+func TestIGStuckUnderShuffle(t *testing.T) {
+	_, o := tinyModel(t)
+	x := tinyInput("ig-victim-2", 16)
+	grad, err := o.VictimGradient(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := Observe(grad, ScenarioFullShuffle, []byte("s"), []byte("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := IG(o, obs, x, 1, IGConfig{
+		Iterations: 150, Restarts: 1, LR: 0.05, TVWeight: 1e-4,
+		Channels: 1, Height: 4, Width: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CosineDist < 0.2 {
+		t.Fatalf("IG converged despite shuffling: cosine distance %v", res.CosineDist)
+	}
+}
+
+func TestIGValidation(t *testing.T) {
+	_, o := tinyModel(t)
+	x := tinyInput("v", 16)
+	obs := fullObservation(t, o, x, 0)
+	if _, err := IG(o, obs, x, 0, IGConfig{Channels: 1, Height: 3, Width: 3}); err == nil {
+		t.Error("mismatched TV geometry accepted")
+	}
+	if _, err := IG(o, obs, x, 99, IGConfig{Channels: 1, Height: 4, Width: 4}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	if _, err := IG(o, obs, x[:3], 0, IGConfig{Channels: 1, Height: 4, Width: 4}); err == nil {
+		t.Error("short input accepted")
+	}
+}
+
+func TestDLGValidation(t *testing.T) {
+	_, o := tinyModel(t)
+	x := tinyInput("v", 16)
+	obs := fullObservation(t, o, x, 0)
+	if _, err := DLG(o, obs, x[:4], 0, DLGConfig{Iterations: 1}); err == nil {
+		t.Error("short input accepted")
+	}
+	if _, err := IDLG(o, obs, x[:4], 0, DLGConfig{Iterations: 1}); err == nil {
+		t.Error("short input accepted by iDLG")
+	}
+	if _, err := o.VictimGradient(x, 99); err == nil {
+		t.Error("out-of-range victim label accepted")
+	}
+}
+
+func TestTV(t *testing.T) {
+	flat := make(tensor.Vector, 16)
+	if TV(flat, 1, 4, 4) != 0 {
+		t.Error("flat image has nonzero TV")
+	}
+	img := make(tensor.Vector, 16)
+	img[5] = 1 // one bright pixel => TV = 4 (two horizontal + two vertical edges)
+	if got := TV(img, 1, 4, 4); math.Abs(got-4) > 1e-12 {
+		t.Errorf("TV = %v, want 4", got)
+	}
+}
+
+func TestCosineAlignmentZeroVectors(t *testing.T) {
+	obs := &Observation{Scenario: ScenarioFull, Observed: make(tensor.Vector, 4)}
+	w, d := obs.CosineAlignment(tensor.Vector{1, 2, 3, 4})
+	if d != 1 {
+		t.Errorf("zero observation: distance %v, want 1", d)
+	}
+	for _, v := range w {
+		if v != 0 {
+			t.Error("zero observation: nonzero direction")
+		}
+	}
+}

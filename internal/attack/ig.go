@@ -1,0 +1,172 @@
+package attack
+
+import (
+	"fmt"
+
+	"deta/internal/optim"
+	"deta/internal/rng"
+	"deta/internal/tensor"
+)
+
+// IGConfig configures the Inverting Gradients attack.
+type IGConfig struct {
+	Iterations int
+	Restarts   int
+	LR         float64
+	TVWeight   float64
+	// Image geometry for the total-variation prior.
+	Channels, Height, Width int
+	Seed                    []byte
+}
+
+func (c *IGConfig) defaults() {
+	if c.Iterations == 0 {
+		c.Iterations = 1000
+	}
+	if c.Restarts == 0 {
+		c.Restarts = 2
+	}
+	if c.LR == 0 {
+		c.LR = 0.1
+	}
+	if c.TVWeight == 0 {
+		c.TVWeight = 1e-2
+	}
+	if c.Seed == nil {
+		c.Seed = []byte("ig-seed")
+	}
+}
+
+// IG runs Inverting Gradients (Geiping et al.): minimize the cosine
+// distance between the dummy input's loss gradient and the observation,
+// regularized by total variation, searching over [0,1]^n with Adam steps
+// on gradient *signs* — the configuration of the original attack. The label
+// is assumed known (IG pairs with iDLG-style inference; the paper's
+// experiments grant it).
+func IG(o *Oracle, obs *Observation, trueX []float64, label int, cfg IGConfig) (*Result, error) {
+	cfg.defaults()
+	inDim := o.Net.InDim()
+	if len(trueX) != inDim {
+		return nil, fmt.Errorf("attack: input length %d, model expects %d", len(trueX), inDim)
+	}
+	if cfg.Channels*cfg.Height*cfg.Width != inDim {
+		return nil, fmt.Errorf("attack: TV geometry %dx%dx%d does not match input dim %d",
+			cfg.Channels, cfg.Height, cfg.Width, inDim)
+	}
+	classes := o.Net.OutDim()
+	if label < 0 || label >= classes {
+		return nil, fmt.Errorf("attack: label %d out of range [0,%d)", label, classes)
+	}
+	target := make([]float64, classes)
+	target[label] = 1
+
+	bestDist := 2.0
+	var bestX tensor.Vector
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		st := rng.NewStream(cfg.Seed, fmt.Sprintf("ig-init-%d", restart))
+		x := make(tensor.Vector, inDim)
+		for i := range x {
+			x[i] = st.Float64()
+		}
+		opt := optim.NewAdam(cfg.LR)
+		dist := 2.0
+		for iter := 0; iter < cfg.Iterations; iter++ {
+			dummyGrad, _, err := o.DummyGradient(x, target)
+			if err != nil {
+				return nil, err
+			}
+			w, d := obs.CosineAlignment(dummyGrad)
+			dist = d
+			dx, _, err := o.JTv(x, target, w)
+			if err != nil {
+				return nil, err
+			}
+			grad := tensor.Vector(dx)
+			addTVGrad(grad, x, cfg)
+			// IG steps on the sign of the gradient.
+			if err := opt.Step(x, tensor.Sign(grad)); err != nil {
+				return nil, err
+			}
+			tensor.ClampRange(x, 0, 1) // the attack's [0,1] search-space constraint
+		}
+		if dist < bestDist {
+			bestDist = dist
+			bestX = x.Clone()
+		}
+	}
+	mse, err := tensor.MSE(bestX, tensor.Vector(trueX))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Recon:         bestX,
+		MSE:           mse,
+		FinalCost:     bestDist,
+		CosineDist:    bestDist,
+		InferredLabel: label,
+		TrueLabel:     label,
+	}, nil
+}
+
+// addTVGrad accumulates the subgradient of the anisotropic total-variation
+// prior alpha * TV(x) into grad.
+func addTVGrad(grad, x tensor.Vector, cfg IGConfig) {
+	c, h, w := cfg.Channels, cfg.Height, cfg.Width
+	alpha := cfg.TVWeight
+	at := func(ci, y, xi int) int { return (ci*h+y)*w + xi }
+	for ci := 0; ci < c; ci++ {
+		for y := 0; y < h; y++ {
+			for xi := 0; xi < w; xi++ {
+				i := at(ci, y, xi)
+				if xi+1 < w {
+					d := sign(x[i] - x[at(ci, y, xi+1)])
+					grad[i] += alpha * d
+					grad[at(ci, y, xi+1)] -= alpha * d
+				}
+				if y+1 < h {
+					d := sign(x[i] - x[at(ci, y+1, xi)])
+					grad[i] += alpha * d
+					grad[at(ci, y+1, xi)] -= alpha * d
+				}
+			}
+		}
+	}
+}
+
+func sign(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	}
+	return 0
+}
+
+// TV computes the anisotropic total variation of an image (for tests and
+// reporting).
+func TV(x tensor.Vector, channels, height, width int) float64 {
+	at := func(ci, y, xi int) int { return (ci*height+y)*width + xi }
+	var tv float64
+	for ci := 0; ci < channels; ci++ {
+		for y := 0; y < height; y++ {
+			for xi := 0; xi < width; xi++ {
+				i := at(ci, y, xi)
+				if xi+1 < width {
+					tv += abs(x[i] - x[at(ci, y, xi+1)])
+				}
+				if y+1 < height {
+					tv += abs(x[i] - x[at(ci, y+1, xi)])
+				}
+			}
+		}
+	}
+	return tv
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,126 @@
+// Package attack implements the three FL data-reconstruction attacks the
+// paper evaluates DeTA against (§6): Deep Leakage from Gradients (DLG),
+// Improved DLG (iDLG), and Inverting Gradients (IG), together with the
+// breached-aggregator observation model (partitioned and/or shuffled
+// gradient fragments) and the fidelity metrics of Tables 1-3.
+//
+// The attacks optimize a dummy input (and for DLG a dummy label) so that
+// its loss gradient matches the observed gradient. That requires
+// differentiating *through* the gradient — a second-order quantity. Instead
+// of building full double-backprop into internal/nn, we compute the needed
+// vector-Jacobian products with symmetric finite differences over a weight
+// perturbation (Pearlmutter's trick):
+//
+//	grad_x <g(x), v> = d/de grad_x L(theta + e*v; x) |_{e=0}
+//	               ~= [grad_x L(theta+e*v) - grad_x L(theta-e*v)] / (2e)
+//
+// which costs two extra ordinary backward passes per optimization step and
+// is exact up to O(e^2). DESIGN.md §2 records this substitution; the test
+// suite validates it against full numerical differentiation.
+package attack
+
+import (
+	"fmt"
+	"math"
+
+	"deta/internal/nn"
+	"deta/internal/tensor"
+)
+
+// Oracle wraps the attacked model in the paper's relaxed §6 setting: the
+// adversary may query the complete, unperturbed model as a black box
+// (compute loss gradients for dummy inputs), while the *victim's* gradient
+// it observed has been transformed by DeTA.
+type Oracle struct {
+	Net   *nn.Network
+	Theta tensor.Vector // the model weights the gradients are taken at
+}
+
+// NewOracle captures the model's current parameters.
+func NewOracle(net *nn.Network) *Oracle {
+	return &Oracle{Net: net, Theta: net.Params()}
+}
+
+// grads runs one forward/backward at the given weights and returns
+// (paramGrad, inputGrad, targetGrad, loss) for input x and soft target t.
+func (o *Oracle) grads(theta tensor.Vector, x, target []float64) (pg tensor.Vector, xg, tg []float64, loss float64, err error) {
+	if err := o.Net.SetParams(theta); err != nil {
+		return nil, nil, nil, 0, err
+	}
+	o.Net.ZeroGrads()
+	out := o.Net.Forward(x, true)
+	loss, gLogits, gTarget, err := nn.SoftCrossEntropy(out, target)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	xg = o.Net.Backward(gLogits)
+	pg = o.Net.Grads()
+	return pg, xg, gTarget, loss, nil
+}
+
+// VictimGradient computes the loss gradient a victim party would upload for
+// a single training example with a hard label — the quantity FedSGD shares
+// and the attacks exploit.
+func (o *Oracle) VictimGradient(x []float64, label int) (tensor.Vector, error) {
+	target := make([]float64, o.Net.OutDim())
+	if label < 0 || label >= len(target) {
+		return nil, fmt.Errorf("attack: label %d out of range", label)
+	}
+	target[label] = 1
+	pg, _, _, _, err := o.grads(o.Theta, x, target)
+	if err != nil {
+		return nil, err
+	}
+	return pg.Clone(), nil
+}
+
+// DummyGradient computes the dummy pair's parameter gradient and loss at
+// the original weights.
+func (o *Oracle) DummyGradient(x, target []float64) (tensor.Vector, float64, error) {
+	pg, _, _, loss, err := o.grads(o.Theta, x, target)
+	if err != nil {
+		return nil, 0, err
+	}
+	return pg.Clone(), loss, nil
+}
+
+// JTv computes the vector-Jacobian products the gradient-matching attacks
+// need: for direction v over parameter space, it returns
+// (grad_x <g(x,t), v>, grad_t <g(x,t), v>) via symmetric weight
+// perturbation. The returned slices are freshly allocated.
+func (o *Oracle) JTv(x, target []float64, v tensor.Vector) (dx, dt []float64, err error) {
+	vn := tensor.Norm(v)
+	if vn == 0 || math.IsNaN(vn) || math.IsInf(vn, 0) {
+		return make([]float64, len(x)), make([]float64, len(target)), nil
+	}
+	eps := 1e-4 / vn
+	thetaP := o.Theta.Clone()
+	if err := tensor.AXPY(eps, thetaP, v); err != nil {
+		return nil, nil, err
+	}
+	thetaM := o.Theta.Clone()
+	if err := tensor.AXPY(-eps, thetaM, v); err != nil {
+		return nil, nil, err
+	}
+	_, xgP, tgP, _, err := o.grads(thetaP, x, target)
+	if err != nil {
+		return nil, nil, err
+	}
+	_, xgM, tgM, _, err := o.grads(thetaM, x, target)
+	if err != nil {
+		return nil, nil, err
+	}
+	dx = make([]float64, len(x))
+	for i := range dx {
+		dx[i] = (xgP[i] - xgM[i]) / (2 * eps)
+	}
+	dt = make([]float64, len(target))
+	for i := range dt {
+		dt[i] = (tgP[i] - tgM[i]) / (2 * eps)
+	}
+	// Restore the oracle's canonical weights for subsequent callers.
+	if err := o.Net.SetParams(o.Theta); err != nil {
+		return nil, nil, err
+	}
+	return dx, dt, nil
+}

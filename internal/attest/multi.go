@@ -1,0 +1,141 @@
+package attest
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"fmt"
+	"sync"
+
+	"deta/internal/sev"
+	"deta/internal/tdx"
+)
+
+// Multi-technology attestation (paper §5: supporting Intel TDX or other CC
+// solutions requires only an AP-side change). EvidenceVerifier abstracts
+// one confidential-computing technology's attestation check; MultiProxy
+// dispatches on the technology name and issues the same ECDSA
+// authentication tokens regardless of the underlying hardware.
+
+// EvidenceVerifier validates one CC technology's attestation evidence
+// against a nonce the proxy issued.
+type EvidenceVerifier interface {
+	// Technology names the CC stack (e.g. "amd-sev", "intel-tdx").
+	Technology() string
+	// Verify checks the evidence (technology-specific type) and nonce.
+	Verify(evidence any, nonce []byte) error
+}
+
+// SEVVerifier adapts the AMD SEV report check.
+type SEVVerifier struct {
+	Root        sev.Cert
+	Measurement [32]byte
+}
+
+// Technology implements EvidenceVerifier.
+func (SEVVerifier) Technology() string { return "amd-sev" }
+
+// Verify implements EvidenceVerifier; evidence must be a
+// *sev.AttestationReport.
+func (v SEVVerifier) Verify(evidence any, nonce []byte) error {
+	report, ok := evidence.(*sev.AttestationReport)
+	if !ok {
+		return fmt.Errorf("attest: amd-sev evidence has type %T", evidence)
+	}
+	return sev.VerifyReport(report, v.Root, v.Measurement, nonce)
+}
+
+// TDXVerifier adapts the Intel TDX quote check.
+type TDXVerifier struct {
+	Root   tdx.Cert
+	MRTD   tdx.Measurement
+	MinTCB uint32
+}
+
+// Technology implements EvidenceVerifier.
+func (TDXVerifier) Technology() string { return "intel-tdx" }
+
+// Verify implements EvidenceVerifier; evidence must be a *tdx.Quote.
+func (v TDXVerifier) Verify(evidence any, nonce []byte) error {
+	quote, ok := evidence.(*tdx.Quote)
+	if !ok {
+		return fmt.Errorf("attest: intel-tdx evidence has type %T", evidence)
+	}
+	return tdx.VerifyQuote(quote, v.Root, v.MRTD, nonce, v.MinTCB)
+}
+
+// MultiProxy is an attestation proxy that accepts aggregators protected by
+// any registered CC technology and provisions uniform authentication
+// tokens, so Phase II and everything downstream are technology-agnostic.
+type MultiProxy struct {
+	mu        sync.Mutex
+	verifiers map[string]EvidenceVerifier
+	tokens    map[string][]byte
+}
+
+// NewMultiProxy builds a proxy from the given verifiers.
+func NewMultiProxy(verifiers ...EvidenceVerifier) *MultiProxy {
+	m := &MultiProxy{
+		verifiers: make(map[string]EvidenceVerifier, len(verifiers)),
+		tokens:    make(map[string][]byte),
+	}
+	for _, v := range verifiers {
+		m.verifiers[v.Technology()] = v
+	}
+	return m
+}
+
+// Technologies lists the supported CC stacks.
+func (m *MultiProxy) Technologies() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.verifiers))
+	for name := range m.verifiers {
+		out = append(out, name)
+	}
+	return out
+}
+
+// VerifyAndIssueToken validates evidence from the named technology and, on
+// success, mints an authentication token: the private half is returned as
+// the launch blob/secret for the protected environment, the public half is
+// recorded for Phase II.
+func (m *MultiProxy) VerifyAndIssueToken(aggregatorID, technology string, evidence any, nonce []byte) ([]byte, error) {
+	m.mu.Lock()
+	v, ok := m.verifiers[technology]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("attest: unsupported CC technology %q", technology)
+	}
+	if err := v.Verify(evidence, nonce); err != nil {
+		return nil, fmt.Errorf("attest: %s evidence rejected: %w", technology, err)
+	}
+	tokenKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	priv, err := x509.MarshalECPrivateKey(tokenKey)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := x509.MarshalPKIXPublicKey(&tokenKey.PublicKey)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.tokens[aggregatorID] = pub
+	m.mu.Unlock()
+	return priv, nil
+}
+
+// TokenPubKey returns the provisioned token key for an aggregator.
+func (m *MultiProxy) TokenPubKey(aggregatorID string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pub, ok := m.tokens[aggregatorID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAggregator, aggregatorID)
+	}
+	return pub, nil
+}

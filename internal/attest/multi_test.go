@@ -1,0 +1,169 @@
+package attest
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"deta/internal/sev"
+	"deta/internal/tdx"
+)
+
+// buildMultiProxy wires an AP that accepts both AMD SEV and Intel TDX
+// aggregators — the paper's §5 portability claim.
+func buildMultiProxy(t *testing.T) (*MultiProxy, *sev.Vendor, *tdx.Vendor, []byte, []byte) {
+	t.Helper()
+	sevVendor, err := sev.NewVendor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tdxVendor, err := tdx.NewVendor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovmf := []byte("sev aggregator firmware")
+	tdImage := []byte("tdx aggregator TD image")
+	mp := NewMultiProxy(
+		SEVVerifier{Root: sevVendor.RAS().RootCert(), Measurement: sev.Measure(ovmf)},
+		TDXVerifier{Root: tdxVendor.RootCert(), MRTD: tdx.MeasureTD(tdImage), MinTCB: 3},
+	)
+	return mp, sevVendor, tdxVendor, ovmf, tdImage
+}
+
+func TestMultiProxyTechnologies(t *testing.T) {
+	mp, _, _, _, _ := buildMultiProxy(t)
+	techs := mp.Technologies()
+	sort.Strings(techs)
+	if len(techs) != 2 || techs[0] != "amd-sev" || techs[1] != "intel-tdx" {
+		t.Fatalf("technologies = %v", techs)
+	}
+}
+
+func TestMultiProxyProvisionsSEVAggregator(t *testing.T) {
+	mp, sevVendor, _, ovmf, _ := buildMultiProxy(t)
+	platform, err := sev.NewPlatform("sev-host", sevVendor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvm, err := platform.LaunchCVM(ovmf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce, _ := NewNonce()
+	report, err := platform.AttestCVM(cvm, 0, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := mp.VerifyAndIssueToken("agg-sev", "amd-sev", report, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cvm.InjectLaunchSecret(blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := cvm.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	// Phase II works identically regardless of technology.
+	secret, err := cvm.GuestReadSecret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := LoadToken(secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := mp.TokenPubKey("agg-sev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	challenge, _ := NewNonce()
+	sig, err := tok.SignChallenge(challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyChallenge(pub, challenge, sig); err != nil {
+		t.Fatalf("Phase II after SEV provisioning: %v", err)
+	}
+}
+
+func TestMultiProxyProvisionsTDXAggregator(t *testing.T) {
+	mp, _, tdxVendor, _, tdImage := buildMultiProxy(t)
+	platform, err := tdx.NewPlatform("tdx-host", tdxVendor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := platform.CreateTD(tdImage)
+	nonce, _ := NewNonce()
+	quote, err := platform.QuoteTD(td, 5, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := mp.VerifyAndIssueToken("agg-tdx", "intel-tdx", quote, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := td.ProvisionSecret(blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := td.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	secret, err := td.GuestReadSecret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := LoadToken(secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := mp.TokenPubKey("agg-tdx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	challenge, _ := NewNonce()
+	sig, err := tok.SignChallenge(challenge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyChallenge(pub, challenge, sig); err != nil {
+		t.Fatalf("Phase II after TDX provisioning: %v", err)
+	}
+}
+
+func TestMultiProxyRejectsUnsupportedTech(t *testing.T) {
+	mp, _, _, _, _ := buildMultiProxy(t)
+	if _, err := mp.VerifyAndIssueToken("agg", "arm-cca", nil, nil); err == nil {
+		t.Fatal("unsupported technology accepted")
+	}
+}
+
+func TestMultiProxyRejectsWrongEvidenceType(t *testing.T) {
+	mp, _, tdxVendor, _, tdImage := buildMultiProxy(t)
+	platform, _ := tdx.NewPlatform("h", tdxVendor)
+	td := platform.CreateTD(tdImage)
+	nonce, _ := NewNonce()
+	quote, _ := platform.QuoteTD(td, 5, nonce)
+	// A TDX quote submitted under the SEV technology name must fail.
+	if _, err := mp.VerifyAndIssueToken("agg", "amd-sev", quote, nonce); err == nil {
+		t.Fatal("cross-technology evidence accepted")
+	}
+}
+
+func TestMultiProxyRejectsLowTCB(t *testing.T) {
+	mp, _, tdxVendor, _, tdImage := buildMultiProxy(t)
+	platform, _ := tdx.NewPlatform("h", tdxVendor)
+	td := platform.CreateTD(tdImage)
+	nonce, _ := NewNonce()
+	quote, _ := platform.QuoteTD(td, 1, nonce) // below MinTCB=3
+	if _, err := mp.VerifyAndIssueToken("agg", "intel-tdx", quote, nonce); err == nil {
+		t.Fatal("out-of-date TCB accepted")
+	}
+}
+
+func TestMultiProxyUnknownAggregatorToken(t *testing.T) {
+	mp, _, _, _, _ := buildMultiProxy(t)
+	if _, err := mp.TokenPubKey("ghost"); !errors.Is(err, ErrUnknownAggregator) {
+		t.Fatalf("err = %v", err)
+	}
+}

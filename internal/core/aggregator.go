@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"deta/internal/agg"
+	"deta/internal/attest"
+	"deta/internal/sev"
+	"deta/internal/tensor"
+)
+
+// AggregatorNode is the aggregation service running inside one SEV CVM. It
+// holds only fragmentary, shuffled views of model updates: it never learns
+// the model architecture, the mapper, or the permutation key.
+type AggregatorNode struct {
+	ID        string
+	Algorithm agg.Algorithm
+
+	cvm   *sev.CVM
+	token *attest.Token
+
+	mu      sync.Mutex
+	parties map[string]bool
+	rounds  map[int]*roundState
+
+	// quorum, when positive, lets a round aggregate once that many
+	// parties have uploaded instead of requiring all registered parties —
+	// the asynchronous-training tolerance the paper contrasts with SMC
+	// protocols (§8.2): parties with competing workloads or slow hardware
+	// may miss rounds without stalling the federation.
+	quorum int
+}
+
+type roundState struct {
+	fragments  map[string]tensor.Vector
+	weights    map[string]float64
+	aggregated tensor.Vector
+}
+
+// Aggregator-node errors.
+var (
+	ErrNotRegistered   = errors.New("core: party not registered with aggregator")
+	ErrRoundIncomplete = errors.New("core: round is missing uploads")
+	ErrNotAggregated   = errors.New("core: round not aggregated yet")
+	ErrDuplicateUpload = errors.New("core: duplicate upload for round")
+)
+
+// NewAggregatorNode launches the aggregation service inside the given CVM:
+// it reads the launch secret (the AP-provisioned ECDSA token) from the
+// CVM's encrypted memory. The CVM must already be provisioned and running.
+func NewAggregatorNode(id string, algorithm agg.Algorithm, cvm *sev.CVM) (*AggregatorNode, error) {
+	secret, err := cvm.GuestReadSecret()
+	if err != nil {
+		return nil, fmt.Errorf("core: aggregator %s reading launch secret: %w", id, err)
+	}
+	token, err := attest.LoadToken(secret)
+	if err != nil {
+		return nil, fmt.Errorf("core: aggregator %s: %w", id, err)
+	}
+	return &AggregatorNode{
+		ID:        id,
+		Algorithm: algorithm,
+		cvm:       cvm,
+		token:     token,
+		parties:   make(map[string]bool),
+		rounds:    make(map[int]*roundState),
+	}, nil
+}
+
+// SignChallenge answers a party's Phase II challenge with the provisioned
+// token.
+func (a *AggregatorNode) SignChallenge(nonce []byte) ([]byte, error) {
+	return a.token.SignChallenge(nonce)
+}
+
+// Register admits a party to the training.
+func (a *AggregatorNode) Register(partyID string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.parties[partyID] = true
+}
+
+// NumParties returns the registered-party count.
+func (a *AggregatorNode) NumParties() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.parties)
+}
+
+// Upload receives one party's transformed fragment for a round, weighted by
+// the party's local dataset size.
+func (a *AggregatorNode) Upload(round int, partyID string, frag tensor.Vector, weight float64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.parties[partyID] {
+		return fmt.Errorf("%w: %q", ErrNotRegistered, partyID)
+	}
+	rs, ok := a.rounds[round]
+	if !ok {
+		rs = &roundState{
+			fragments: make(map[string]tensor.Vector),
+			weights:   make(map[string]float64),
+		}
+		a.rounds[round] = rs
+	}
+	if _, dup := rs.fragments[partyID]; dup {
+		return fmt.Errorf("%w %d from %q", ErrDuplicateUpload, round, partyID)
+	}
+	rs.fragments[partyID] = frag.Clone()
+	rs.weights[partyID] = weight
+	return nil
+}
+
+// SetQuorum configures partial participation: rounds may aggregate once n
+// parties have uploaded (n <= 0 restores the all-parties default).
+func (a *AggregatorNode) SetQuorum(n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.quorum = n
+}
+
+// required returns the upload count a round needs before aggregation.
+// Callers must hold a.mu.
+func (a *AggregatorNode) required() int {
+	if a.quorum > 0 && a.quorum < len(a.parties) {
+		return a.quorum
+	}
+	return len(a.parties)
+}
+
+// Complete reports whether enough parties have uploaded for round (all
+// registered parties, or the configured quorum).
+func (a *AggregatorNode) Complete(round int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rs, ok := a.rounds[round]
+	return ok && len(rs.fragments) >= a.required()
+}
+
+// Aggregate fuses the round's fragments with the node's algorithm. Called
+// by the initiator's sync protocol once all parties have uploaded.
+func (a *AggregatorNode) Aggregate(round int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rs, ok := a.rounds[round]
+	if !ok || len(rs.fragments) < a.required() {
+		return fmt.Errorf("%w: round %d has %d/%d uploads", ErrRoundIncomplete, round, uploadCount(rs), a.required())
+	}
+	// Deterministic party order: sort IDs.
+	ids := make([]string, 0, len(rs.fragments))
+	for id := range rs.fragments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	updates := make([]tensor.Vector, len(ids))
+	weights := make([]float64, len(ids))
+	for i, id := range ids {
+		updates[i] = rs.fragments[id]
+		weights[i] = rs.weights[id]
+	}
+	fused, err := a.Algorithm.Aggregate(updates, weights)
+	if err != nil {
+		return fmt.Errorf("core: aggregator %s round %d: %w", a.ID, round, err)
+	}
+	rs.aggregated = fused
+	return nil
+}
+
+func uploadCount(rs *roundState) int {
+	if rs == nil {
+		return 0
+	}
+	return len(rs.fragments)
+}
+
+// Download returns the aggregated fragment for a round.
+func (a *AggregatorNode) Download(round int, partyID string) (tensor.Vector, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.parties[partyID] {
+		return nil, fmt.Errorf("%w: %q", ErrNotRegistered, partyID)
+	}
+	rs, ok := a.rounds[round]
+	if !ok || rs.aggregated == nil {
+		return nil, fmt.Errorf("%w: round %d", ErrNotAggregated, round)
+	}
+	return rs.aggregated.Clone(), nil
+}
+
+// DropRound frees a completed round's state.
+func (a *AggregatorNode) DropRound(round int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.rounds, round)
+}
+
+// LeakRoundFragments models an aggregator breach for the security analysis
+// (§6): it exposes everything this aggregator holds for a round — the
+// per-party fragments exactly as uploaded. A real deployment has no such
+// API; the attack experiments call it to play the worst-case adversary.
+func (a *AggregatorNode) LeakRoundFragments(round int) map[string]tensor.Vector {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rs, ok := a.rounds[round]
+	if !ok {
+		return nil
+	}
+	out := make(map[string]tensor.Vector, len(rs.fragments))
+	for id, f := range rs.fragments {
+		out[id] = f.Clone()
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"deta/internal/rng"
+	"deta/internal/tensor"
+)
+
+// ESAShuffleUpdates implements the Encode-Shuffle-Analyze style shuffler
+// the paper contrasts with DeTA in §4.2: it permutes the ORDER OF WHOLE
+// MODEL UPDATES across parties (breaking the linkage between an update and
+// its owner, i.e. anonymity) but leaves every update's internal content
+// pristine. DeTA's shuffler instead permutes parameters WITHIN each
+// update. The two serve different security goals: an ESA-shuffled batch
+// still hands an adversary complete, in-order model updates to invert —
+// see the comparison test in internal/attack.
+func ESAShuffleUpdates(updates []tensor.Vector, key, roundID []byte) []tensor.Vector {
+	seed := rng.DeriveSeed(key, roundID, []byte("esa-update-shuffle"))
+	perm := rng.NewStream(seed, "esa").Perm(len(updates))
+	out := make([]tensor.Vector, len(updates))
+	for i, src := range perm {
+		out[i] = updates[src].Clone()
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+// Package core implements DeTA itself (paper §4): randomized model
+// partitioning across multiple aggregators, dynamic parameter-level
+// shuffling keyed by a broker-held permutation key and per-round training
+// identifiers, the transform pipeline parties apply to local updates
+// (Trans and its inverse), the decentralized aggregator nodes with
+// initiator/follower round synchronization, and the end-to-end DeTA
+// training session used by the experiments.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"deta/internal/rng"
+	"deta/internal/tensor"
+)
+
+// Mapper is the model mapper of §4.1: a randomized, parameter-granularity
+// assignment of each flat-vector index to one of K aggregators. It is
+// generated once per model before training, agreed by all parties, and
+// never shared with aggregators. Within each partition parameters keep
+// their original relative order ("squeezed to occupy all empty slots in
+// sequence"); the per-round shuffle then permutes them.
+type Mapper struct {
+	n      int
+	assign []int   // index -> aggregator
+	parts  [][]int // aggregator -> ordered original indices
+}
+
+// NewMapper builds a mapper for a model of n parameters split across
+// len(proportions) aggregators, where proportions[j] is the fraction of
+// parameters destined for aggregator j (must sum to ~1). The assignment is
+// a deterministic function of seed, so all parties derive the same mapper
+// from the shared seed.
+func NewMapper(n int, proportions []float64, seed []byte) (*Mapper, error) {
+	if n <= 0 {
+		return nil, errors.New("core: mapper needs a positive parameter count")
+	}
+	k := len(proportions)
+	if k == 0 {
+		return nil, errors.New("core: mapper needs at least one aggregator")
+	}
+	var sum float64
+	for j, p := range proportions {
+		if p < 0 {
+			return nil, fmt.Errorf("core: proportion %d is negative", j)
+		}
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return nil, fmt.Errorf("core: proportions sum to %v, want 1", sum)
+	}
+	// Random permutation of indices; carve consecutive runs per aggregator
+	// sized by the proportions.
+	perm := rng.NewStream(rng.DeriveSeed(seed, []byte("model-mapper")), "perm").Perm(n)
+	counts := make([]int, k)
+	used := 0
+	for j := 0; j < k-1; j++ {
+		counts[j] = int(float64(n)*proportions[j] + 0.5)
+		if counts[j] > n-used {
+			counts[j] = n - used
+		}
+		used += counts[j]
+	}
+	counts[k-1] = n - used
+
+	assign := make([]int, n)
+	at := 0
+	for j, c := range counts {
+		for i := 0; i < c; i++ {
+			assign[perm[at]] = j
+			at++
+		}
+	}
+	parts := make([][]int, k)
+	for j := range parts {
+		parts[j] = make([]int, 0, counts[j])
+	}
+	// Ascending index order preserves original relative order within each
+	// partition.
+	for idx := 0; idx < n; idx++ {
+		j := assign[idx]
+		parts[j] = append(parts[j], idx)
+	}
+	return &Mapper{n: n, assign: assign, parts: parts}, nil
+}
+
+// EqualProportions returns a uniform proportion vector for k aggregators.
+func EqualProportions(k int) []float64 {
+	p := make([]float64, k)
+	for i := range p {
+		p[i] = 1 / float64(k)
+	}
+	return p
+}
+
+// NumParams returns the model size the mapper was built for.
+func (m *Mapper) NumParams() int { return m.n }
+
+// NumAggregators returns the partition count.
+func (m *Mapper) NumAggregators() int { return len(m.parts) }
+
+// Counts returns the partition sizes.
+func (m *Mapper) Counts() []int {
+	out := make([]int, len(m.parts))
+	for j, p := range m.parts {
+		out[j] = len(p)
+	}
+	return out
+}
+
+// Partition disassembles a model update into one fragment per aggregator.
+// Fragments carry no architecture information: they are anonymous flat
+// vectors.
+func (m *Mapper) Partition(v tensor.Vector) ([]tensor.Vector, error) {
+	if len(v) != m.n {
+		return nil, fmt.Errorf("core: update length %d, mapper built for %d", len(v), m.n)
+	}
+	out := make([]tensor.Vector, len(m.parts))
+	for j, idxs := range m.parts {
+		frag := make(tensor.Vector, len(idxs))
+		for i, idx := range idxs {
+			frag[i] = v[idx]
+		}
+		out[j] = frag
+	}
+	return out, nil
+}
+
+// Merge reassembles fragments into a full model update, inverting
+// Partition.
+func (m *Mapper) Merge(frags []tensor.Vector) (tensor.Vector, error) {
+	if len(frags) != len(m.parts) {
+		return nil, fmt.Errorf("core: %d fragments, mapper has %d partitions", len(frags), len(m.parts))
+	}
+	out := make(tensor.Vector, m.n)
+	for j, idxs := range m.parts {
+		if len(frags[j]) != len(idxs) {
+			return nil, fmt.Errorf("core: fragment %d has %d values, want %d", j, len(frags[j]), len(idxs))
+		}
+		for i, idx := range idxs {
+			out[idx] = frags[j][i]
+		}
+	}
+	return out, nil
+}
+
+// PartitionIndices returns a copy of aggregator j's original-index list
+// (for analysis and the attack experiments, which need to know what a
+// breached aggregator holds).
+func (m *Mapper) PartitionIndices(j int) ([]int, error) {
+	if j < 0 || j >= len(m.parts) {
+		return nil, fmt.Errorf("core: aggregator %d out of range [0,%d)", j, len(m.parts))
+	}
+	out := make([]int, len(m.parts[j]))
+	copy(out, m.parts[j])
+	return out, nil
+}
+
+// Validate checks internal consistency: every index appears in exactly one
+// partition, in ascending order.
+func (m *Mapper) Validate() error {
+	seen := make([]bool, m.n)
+	total := 0
+	for j, idxs := range m.parts {
+		if !sort.IntsAreSorted(idxs) {
+			return fmt.Errorf("core: partition %d not in ascending order", j)
+		}
+		for _, idx := range idxs {
+			if idx < 0 || idx >= m.n {
+				return fmt.Errorf("core: partition %d holds out-of-range index %d", j, idx)
+			}
+			if seen[idx] {
+				return fmt.Errorf("core: index %d appears in multiple partitions", idx)
+			}
+			seen[idx] = true
+			total++
+		}
+	}
+	if total != m.n {
+		return fmt.Errorf("core: partitions cover %d of %d indices", total, m.n)
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"deta/internal/rng"
+	"deta/internal/tensor"
+)
+
+func TestMapperValidation(t *testing.T) {
+	if _, err := NewMapper(0, EqualProportions(3), nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewMapper(10, nil, nil); err == nil {
+		t.Error("no aggregators accepted")
+	}
+	if _, err := NewMapper(10, []float64{0.5, 0.4}, nil); err == nil {
+		t.Error("proportions not summing to 1 accepted")
+	}
+	if _, err := NewMapper(10, []float64{1.5, -0.5}, nil); err == nil {
+		t.Error("negative proportion accepted")
+	}
+}
+
+func TestMapperPartitionsDisjointAndComplete(t *testing.T) {
+	m, err := NewMapper(101, EqualProportions(3), []byte("seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	counts := m.Counts()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 101 {
+		t.Fatalf("counts %v cover %d of 101", counts, total)
+	}
+	// Equal proportions over 101: sizes within 1 of each other... the
+	// rounding scheme gives first two ~34, last the remainder.
+	for _, c := range counts {
+		if c < 30 || c > 40 {
+			t.Fatalf("unbalanced counts %v", counts)
+		}
+	}
+}
+
+func TestMapperProportions(t *testing.T) {
+	m, err := NewMapper(1000, []float64{0.6, 0.2, 0.2}, []byte("seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := m.Counts()
+	if counts[0] != 600 || counts[1] != 200 || counts[2] != 200 {
+		t.Fatalf("counts %v, want [600 200 200]", counts)
+	}
+}
+
+func TestMapperDeterministicPerSeed(t *testing.T) {
+	a, _ := NewMapper(50, EqualProportions(2), []byte("s1"))
+	b, _ := NewMapper(50, EqualProportions(2), []byte("s1"))
+	c, _ := NewMapper(50, EqualProportions(2), []byte("s2"))
+	pa, _ := a.PartitionIndices(0)
+	pb, _ := b.PartitionIndices(0)
+	pc, _ := c.PartitionIndices(0)
+	if len(pa) != len(pb) {
+		t.Fatal("same seed produced different partition sizes")
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("same seed produced different assignments")
+		}
+	}
+	diff := false
+	if len(pa) == len(pc) {
+		for i := range pa {
+			if pa[i] != pc[i] {
+				diff = true
+				break
+			}
+		}
+	} else {
+		diff = true
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical assignments")
+	}
+}
+
+func TestPartitionMergeRoundTrip(t *testing.T) {
+	f := func(seed uint16, kRaw, nRaw uint8) bool {
+		k := int(kRaw%4) + 1
+		n := int(nRaw) + k // ensure n >= k
+		m, err := NewMapper(n, EqualProportions(k), []byte{byte(seed), byte(seed >> 8)})
+		if err != nil {
+			return false
+		}
+		if m.Validate() != nil {
+			return false
+		}
+		v := make(tensor.Vector, n)
+		s := rng.NewStream([]byte{byte(seed)}, "values")
+		for i := range v {
+			v[i] = s.NormFloat64()
+		}
+		frags, err := m.Partition(v)
+		if err != nil {
+			return false
+		}
+		back, err := m.Merge(frags)
+		if err != nil {
+			return false
+		}
+		for i := range v {
+			if back[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	m, _ := NewMapper(10, EqualProportions(2), []byte("s"))
+	if _, err := m.Partition(make(tensor.Vector, 5)); err == nil {
+		t.Error("wrong-length update accepted")
+	}
+	if _, err := m.Merge([]tensor.Vector{{1}}); err == nil {
+		t.Error("wrong fragment count accepted")
+	}
+	frags, _ := m.Partition(make(tensor.Vector, 10))
+	frags[0] = frags[0][:1]
+	if _, err := m.Merge(frags); err == nil {
+		t.Error("wrong fragment length accepted")
+	}
+	if _, err := m.PartitionIndices(5); err == nil {
+		t.Error("out-of-range partition index accepted")
+	}
+}
+
+func TestFragmentsHideArchitecture(t *testing.T) {
+	// A fragment must be a dense flat vector with no gaps: its length is
+	// less than the model's, and adjacent fragment entries come from
+	// non-adjacent original indices with high probability.
+	m, _ := NewMapper(1000, EqualProportions(3), []byte("arch"))
+	idxs, _ := m.PartitionIndices(0)
+	adjacent := 0
+	for i := 1; i < len(idxs); i++ {
+		if idxs[i] == idxs[i-1]+1 {
+			adjacent++
+		}
+	}
+	// Random 1/3 sampling: expect ~len/3 adjacency, far below len-1.
+	if adjacent > len(idxs)/2 {
+		t.Fatalf("partition suspiciously contiguous: %d adjacent of %d", adjacent, len(idxs))
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"deta/internal/tensor"
+	"deta/internal/transport"
+)
+
+// RPC method names exposed by an aggregator server. Parties speak this
+// protocol over TLS after Phase II registration.
+const (
+	MethodChallenge = "deta.Challenge"
+	MethodRegister  = "deta.Register"
+	MethodUpload    = "deta.Upload"
+	MethodComplete  = "deta.Complete"
+	MethodAggregate = "deta.Aggregate"
+	MethodDownload  = "deta.Download"
+)
+
+// Wire messages. Fields are exported for gob.
+type (
+	// ChallengeReq asks the aggregator to prove token possession.
+	ChallengeReq struct{ Nonce []byte }
+	// ChallengeResp carries the token signature over the nonce.
+	ChallengeResp struct{ Sig []byte }
+
+	// RegisterReq admits a party.
+	RegisterReq struct{ PartyID string }
+	// RegisterResp acknowledges registration.
+	RegisterResp struct{ OK bool }
+
+	// UploadReq carries one transformed fragment.
+	UploadReq struct {
+		Round    int
+		PartyID  string
+		Fragment []float64
+		Weight   float64
+	}
+	// UploadResp acknowledges an upload.
+	UploadResp struct{ OK bool }
+
+	// CompleteReq polls round completeness.
+	CompleteReq struct{ Round int }
+	// CompleteResp reports it.
+	CompleteResp struct{ Complete bool }
+
+	// AggregateReq instructs a follower to fuse a round (sent by the
+	// initiator's sync protocol).
+	AggregateReq struct{ Round int }
+	// AggregateResp acknowledges fusion.
+	AggregateResp struct{ OK bool }
+
+	// DownloadReq fetches the aggregated fragment.
+	DownloadReq struct {
+		Round   int
+		PartyID string
+	}
+	// DownloadResp carries it.
+	DownloadResp struct{ Fragment []float64 }
+)
+
+// ServeAggregator binds an AggregatorNode's protocol onto an RPC server.
+func ServeAggregator(node *AggregatorNode, srv *transport.Server) {
+	transport.HandleTyped(srv, MethodChallenge, func(r ChallengeReq) (ChallengeResp, error) {
+		sig, err := node.SignChallenge(r.Nonce)
+		if err != nil {
+			return ChallengeResp{}, err
+		}
+		return ChallengeResp{Sig: sig}, nil
+	})
+	transport.HandleTyped(srv, MethodRegister, func(r RegisterReq) (RegisterResp, error) {
+		if r.PartyID == "" {
+			return RegisterResp{}, errors.New("empty party ID")
+		}
+		node.Register(r.PartyID)
+		return RegisterResp{OK: true}, nil
+	})
+	transport.HandleTyped(srv, MethodUpload, func(r UploadReq) (UploadResp, error) {
+		if err := node.Upload(r.Round, r.PartyID, tensor.Vector(r.Fragment), r.Weight); err != nil {
+			return UploadResp{}, err
+		}
+		return UploadResp{OK: true}, nil
+	})
+	transport.HandleTyped(srv, MethodComplete, func(r CompleteReq) (CompleteResp, error) {
+		return CompleteResp{Complete: node.Complete(r.Round)}, nil
+	})
+	transport.HandleTyped(srv, MethodAggregate, func(r AggregateReq) (AggregateResp, error) {
+		if err := node.Aggregate(r.Round); err != nil {
+			return AggregateResp{}, err
+		}
+		return AggregateResp{OK: true}, nil
+	})
+	transport.HandleTyped(srv, MethodDownload, func(r DownloadReq) (DownloadResp, error) {
+		frag, err := node.Download(r.Round, r.PartyID)
+		if err != nil {
+			return DownloadResp{}, err
+		}
+		return DownloadResp{Fragment: frag}, nil
+	})
+}
+
+// AggregatorClient is the party-side handle to one remote aggregator.
+type AggregatorClient struct {
+	ID string
+	C  *transport.Client
+}
+
+// Challenge runs the Phase II nonce exchange.
+func (a *AggregatorClient) Challenge(nonce []byte) ([]byte, error) {
+	resp, err := transport.CallTyped[ChallengeReq, ChallengeResp](a.C, MethodChallenge, ChallengeReq{Nonce: nonce})
+	if err != nil {
+		return nil, fmt.Errorf("core: challenge %s: %w", a.ID, err)
+	}
+	return resp.Sig, nil
+}
+
+// Register admits the party at this aggregator.
+func (a *AggregatorClient) Register(partyID string) error {
+	_, err := transport.CallTyped[RegisterReq, RegisterResp](a.C, MethodRegister, RegisterReq{PartyID: partyID})
+	if err != nil {
+		return fmt.Errorf("core: register at %s: %w", a.ID, err)
+	}
+	return nil
+}
+
+// Upload sends a transformed fragment.
+func (a *AggregatorClient) Upload(round int, partyID string, frag tensor.Vector, weight float64) error {
+	_, err := transport.CallTyped[UploadReq, UploadResp](a.C, MethodUpload, UploadReq{
+		Round: round, PartyID: partyID, Fragment: frag, Weight: weight,
+	})
+	if err != nil {
+		return fmt.Errorf("core: upload to %s: %w", a.ID, err)
+	}
+	return nil
+}
+
+// Complete polls whether all parties uploaded for round.
+func (a *AggregatorClient) Complete(round int) (bool, error) {
+	resp, err := transport.CallTyped[CompleteReq, CompleteResp](a.C, MethodComplete, CompleteReq{Round: round})
+	if err != nil {
+		return false, err
+	}
+	return resp.Complete, nil
+}
+
+// Aggregate instructs the aggregator to fuse a round.
+func (a *AggregatorClient) Aggregate(round int) error {
+	_, err := transport.CallTyped[AggregateReq, AggregateResp](a.C, MethodAggregate, AggregateReq{Round: round})
+	if err != nil {
+		return fmt.Errorf("core: aggregate at %s: %w", a.ID, err)
+	}
+	return nil
+}
+
+// Download fetches the aggregated fragment.
+func (a *AggregatorClient) Download(round int, partyID string) (tensor.Vector, error) {
+	resp, err := transport.CallTyped[DownloadReq, DownloadResp](a.C, MethodDownload, DownloadReq{
+		Round: round, PartyID: partyID,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: download from %s: %w", a.ID, err)
+	}
+	return resp.Fragment, nil
+}
+
+// VerifyAndRegister performs the party-side Phase II against one remote
+// aggregator: nonce challenge, signature verification against the AP's
+// token public key, then registration.
+func VerifyAndRegister(a *AggregatorClient, tokenPubKey []byte, partyID string,
+	newNonce func() ([]byte, error), verify func(pub, nonce, sig []byte) error) error {
+	nonce, err := newNonce()
+	if err != nil {
+		return err
+	}
+	sig, err := a.Challenge(nonce)
+	if err != nil {
+		return err
+	}
+	if err := verify(tokenPubKey, nonce, sig); err != nil {
+		return fmt.Errorf("core: aggregator %s failed Phase II verification: %w", a.ID, err)
+	}
+	return a.Register(partyID)
+}

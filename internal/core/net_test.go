@@ -1,0 +1,132 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"deta/internal/agg"
+	"deta/internal/attest"
+	"deta/internal/sev"
+	"deta/internal/tensor"
+	"deta/internal/transport"
+)
+
+// startNetAggregator provisions an aggregator CVM, serves its protocol on
+// an in-memory listener, and returns a connected client plus the proxy.
+func startNetAggregator(t *testing.T) (*AggregatorClient, *attest.Proxy) {
+	t.Helper()
+	vendor, err := sev.NewVendor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := sev.NewPlatform("net-host", vendor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := attest.NewProxy(vendor.RAS(), OVMF)
+	cvm, err := platform.LaunchCVM(OVMF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap.Provision("agg-net", platform, cvm); err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewAggregatorNode("agg-net", agg.IterativeAverage{}, cvm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.NewServer()
+	ServeAggregator(node, srv)
+	ln := transport.NewMemListener()
+	go srv.Serve(ln)
+	t.Cleanup(srv.Close)
+
+	conn, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &AggregatorClient{ID: "agg-net", C: transport.NewClient(conn)}
+	t.Cleanup(func() { client.C.Close() })
+	return client, ap
+}
+
+func TestNetPhaseIIAndRound(t *testing.T) {
+	client, ap := startNetAggregator(t)
+	pub, err := ap.TokenPubKey("agg-net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Phase II over the wire.
+	if err := VerifyAndRegister(client, pub, "P1", attest.NewNonce, attest.VerifyChallenge); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAndRegister(client, pub, "P2", attest.NewNonce, attest.VerifyChallenge); err != nil {
+		t.Fatal(err)
+	}
+
+	// One full round over RPC.
+	if err := client.Upload(1, "P1", tensor.Vector{1, 2, 3}, 1); err != nil {
+		t.Fatal(err)
+	}
+	done, err := client.Complete(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done {
+		t.Fatal("round complete with one of two uploads")
+	}
+	if err := client.Upload(1, "P2", tensor.Vector{3, 4, 5}, 1); err != nil {
+		t.Fatal(err)
+	}
+	done, err = client.Complete(1)
+	if err != nil || !done {
+		t.Fatalf("complete = %v, %v", done, err)
+	}
+	if err := client.Aggregate(1); err != nil {
+		t.Fatal(err)
+	}
+	frag, err := client.Download(1, "P1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.Vector{2, 3, 4}
+	for i := range want {
+		if frag[i] != want[i] {
+			t.Fatalf("fragment %v, want %v", frag, want)
+		}
+	}
+}
+
+func TestNetPhaseIIRejectsWrongKey(t *testing.T) {
+	client, _ := startNetAggregator(t)
+	// A second, unrelated provisioning yields a different token key.
+	vendor, _ := sev.NewVendor()
+	platform, _ := sev.NewPlatform("other", vendor)
+	otherAP := attest.NewProxy(vendor.RAS(), OVMF)
+	cvm, _ := platform.LaunchCVM(OVMF)
+	if _, err := otherAP.Provision("agg-other", platform, cvm); err != nil {
+		t.Fatal(err)
+	}
+	wrongPub, _ := otherAP.TokenPubKey("agg-other")
+	err := VerifyAndRegister(client, wrongPub, "P1", attest.NewNonce, attest.VerifyChallenge)
+	if err == nil || !strings.Contains(err.Error(), "Phase II") {
+		t.Fatalf("wrong token accepted: %v", err)
+	}
+}
+
+func TestNetErrorsPropagate(t *testing.T) {
+	client, _ := startNetAggregator(t)
+	// Unregistered party upload must surface the remote error.
+	if err := client.Upload(1, "ghost", tensor.Vector{1}, 1); err == nil {
+		t.Fatal("remote rejection not propagated")
+	}
+	if _, err := client.Download(9, "ghost"); err == nil {
+		t.Fatal("remote download rejection not propagated")
+	}
+	if err := client.Register(""); err == nil {
+		t.Fatal("empty party ID accepted")
+	}
+	if err := client.Aggregate(42); err == nil {
+		t.Fatal("aggregate of empty round accepted")
+	}
+}

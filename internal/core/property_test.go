@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deta/internal/agg"
+	"deta/internal/rng"
+	"deta/internal/tensor"
+)
+
+// The central correctness property of the whole system, tested over random
+// configurations: for coordinate-wise algorithms, transforming each
+// party's update, aggregating fragments independently per aggregator, and
+// inverse-transforming the results equals aggregating the raw updates
+// centrally — for any party count, aggregator count, proportions, update
+// contents, round identifier, and shuffle setting.
+func TestDeTAPipelineEqualsCentralProperty(t *testing.T) {
+	algorithms := []agg.Algorithm{
+		agg.IterativeAverage{}, agg.CoordinateMedian{}, agg.TrimmedMean{Trim: 1},
+	}
+	sh, err := NewShuffler([]byte("property-permutation-key-0123456"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint32, kRaw, pRaw, shuffleRaw uint8) bool {
+		k := int(kRaw%4) + 1       // 1-4 aggregators
+		parties := int(pRaw%4) + 4 // 4-7 parties (TrimmedMean needs >2)
+		shuffle := shuffleRaw%2 == 0
+		const n = 150
+
+		st := rng.NewStream([]byte{byte(seed), byte(seed >> 8), byte(seed >> 16)}, "prop-updates")
+
+		// Random proportions, normalized.
+		props := make([]float64, k)
+		var sum float64
+		for j := range props {
+			props[j] = 0.2 + st.Float64()
+			sum += props[j]
+		}
+		for j := range props {
+			props[j] /= sum
+		}
+		mapper, err := NewMapper(n, props, []byte{byte(seed)})
+		if err != nil {
+			return false
+		}
+
+		updates := make([]tensor.Vector, parties)
+		weights := make([]float64, parties)
+		for p := range updates {
+			v := make(tensor.Vector, n)
+			for i := range v {
+				v[i] = st.NormFloat64()
+			}
+			updates[p] = v
+			weights[p] = 1 + st.Float64()*9
+		}
+		roundID := []byte(fmt.Sprintf("round-%d", seed%97))
+
+		for _, alg := range algorithms {
+			var w []float64
+			if alg.Name() == "iterative-averaging" {
+				w = weights
+			}
+			central, err := alg.Aggregate(updates, w)
+			if err != nil {
+				return false
+			}
+			// DeTA path.
+			frags := make([][]tensor.Vector, k) // [aggregator][party]
+			for j := range frags {
+				frags[j] = make([]tensor.Vector, parties)
+			}
+			for p, u := range updates {
+				fs, err := Transform(mapper, sh, u, roundID, shuffle)
+				if err != nil {
+					return false
+				}
+				for j := range fs {
+					frags[j][p] = fs[j]
+				}
+			}
+			fused := make([]tensor.Vector, k)
+			for j := range fused {
+				fused[j], err = alg.Aggregate(frags[j], w)
+				if err != nil {
+					return false
+				}
+			}
+			merged, err := InverseTransform(mapper, sh, fused, roundID, shuffle)
+			if err != nil {
+				return false
+			}
+			for i := range central {
+				if math.Abs(merged[i]-central[i]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

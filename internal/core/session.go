@@ -1,0 +1,312 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"deta/internal/agg"
+	"deta/internal/attest"
+	"deta/internal/dataset"
+	"deta/internal/fl"
+	"deta/internal/nn"
+	"deta/internal/sev"
+	"deta/internal/tensor"
+)
+
+// OVMF is the firmware image all genuine aggregator CVMs boot in this
+// reproduction; the AP expects its measurement.
+var OVMF = []byte("deta-aggregator-firmware-v1: attested aggregation service build")
+
+// Options configures a DeTA deployment.
+type Options struct {
+	// NumAggregators is K, the decentralization factor (the paper deploys
+	// three).
+	NumAggregators int
+	// Proportions[j] is the fraction of parameters mapped to aggregator j;
+	// nil means equal split.
+	Proportions []float64
+	// Shuffle enables dynamic parameter-level shuffling (on in a full DeTA
+	// deployment; the security analysis also evaluates partition-only).
+	Shuffle bool
+	// MapperSeed seeds the shared model mapper; all parties must agree.
+	MapperSeed []byte
+	// PermKeyBytes sizes the broker's permutation key (default 32).
+	PermKeyBytes int
+	// Quorum, when positive, lets each aggregator fuse a round once that
+	// many parties have uploaded, tolerating stragglers and dropouts
+	// (paper §8.2 contrasts this flexibility with SMC cohort formation).
+	Quorum int
+}
+
+func (o *Options) defaults() {
+	if o.NumAggregators == 0 {
+		o.NumAggregators = 3
+	}
+	if o.Proportions == nil {
+		o.Proportions = EqualProportions(o.NumAggregators)
+	}
+	if o.PermKeyBytes == 0 {
+		o.PermKeyBytes = 32
+	}
+	if o.MapperSeed == nil {
+		o.MapperSeed = []byte("deta-default-mapper-seed")
+	}
+}
+
+// Session is the end-to-end in-process DeTA deployment: SEV-protected
+// aggregator nodes, the attestation proxy, the key broker, and the party
+// fleet. It mirrors fl.Session so experiments can compare the two directly.
+type Session struct {
+	Cfg      fl.Config
+	Opts     Options
+	Build    func() *nn.Network
+	Parties  []*fl.Party
+	Test     *dataset.Dataset
+	InitSeed []byte
+	// NewAlgorithm constructs one algorithm instance per aggregator (some
+	// algorithms, like Paillier fusion, carry per-instance state).
+	NewAlgorithm func() agg.Algorithm
+
+	// Populated by Setup.
+	Nodes    []*AggregatorNode
+	Mapper   *Mapper
+	Shuffler *Shuffler
+	Broker   *attest.KeyBroker
+	Proxy    *attest.Proxy
+
+	// Availability, when non-nil, reports whether a party participates in
+	// a round; absent parties neither train nor upload that round (they
+	// still receive the aggregated model). Requires Opts.Quorum low
+	// enough for the remaining parties to complete rounds.
+	Availability func(partyID string, round int) bool
+
+	// SetupLatency records the one-time trust-bootstrap cost (Phase I +
+	// Phase II + registration), reported separately from training latency.
+	SetupLatency time.Duration
+
+	// FinalParams holds the global model parameters after Run completes.
+	FinalParams tensor.Vector
+}
+
+// Setup performs the full trust bootstrap of Figure 1 steps 1-4:
+//
+//  1. launch one SEV CVM per aggregator and attest each via the AP,
+//  2. provision authentication tokens into the CVMs,
+//  3. have every party verify every aggregator (challenge-response) and
+//     register,
+//  4. distribute the permutation key and build the shared model mapper.
+func (s *Session) Setup() error {
+	start := time.Now()
+	s.Opts.defaults()
+	if err := s.Cfg.Validate(); err != nil {
+		return err
+	}
+	if len(s.Parties) == 0 {
+		return errors.New("core: no parties")
+	}
+	if s.NewAlgorithm == nil {
+		return errors.New("core: NewAlgorithm is required")
+	}
+
+	// Vendor infrastructure and the party-controlled AP.
+	vendor, err := sev.NewVendor()
+	if err != nil {
+		return err
+	}
+	s.Proxy = attest.NewProxy(vendor.RAS(), OVMF)
+
+	// Phase I: launch and provision every aggregator.
+	s.Nodes = make([]*AggregatorNode, s.Opts.NumAggregators)
+	for j := 0; j < s.Opts.NumAggregators; j++ {
+		// Each aggregator may run on its own physical platform
+		// (geo-distributed per §4.1).
+		platform, err := sev.NewPlatform(fmt.Sprintf("host-%d", j+1), vendor)
+		if err != nil {
+			return err
+		}
+		cvm, err := platform.LaunchCVM(OVMF)
+		if err != nil {
+			return err
+		}
+		id := fmt.Sprintf("agg-%d", j+1)
+		if _, err := s.Proxy.Provision(id, platform, cvm); err != nil {
+			return fmt.Errorf("core: provisioning %s: %w", id, err)
+		}
+		node, err := NewAggregatorNode(id, s.NewAlgorithm(), cvm)
+		if err != nil {
+			return err
+		}
+		s.Nodes[j] = node
+	}
+
+	// Phase II: every party verifies every aggregator, then registers.
+	for _, p := range s.Parties {
+		for _, node := range s.Nodes {
+			pub, err := s.Proxy.TokenPubKey(node.ID)
+			if err != nil {
+				return err
+			}
+			nonce, err := attest.NewNonce()
+			if err != nil {
+				return err
+			}
+			sig, err := node.SignChallenge(nonce)
+			if err != nil {
+				return err
+			}
+			if err := attest.VerifyChallenge(pub, nonce, sig); err != nil {
+				return fmt.Errorf("core: party %s rejects %s: %w", p.ID, node.ID, err)
+			}
+			node.Register(p.ID)
+		}
+	}
+
+	// Key broker: permutation key for all parties.
+	s.Broker, err = attest.NewKeyBroker(s.Opts.PermKeyBytes)
+	if err != nil {
+		return err
+	}
+	for _, p := range s.Parties {
+		s.Broker.RegisterParty(p.ID)
+	}
+	permKey, err := s.Broker.PermutationKey(s.Parties[0].ID)
+	if err != nil {
+		return err
+	}
+	s.Shuffler, err = NewShuffler(permKey)
+	if err != nil {
+		return err
+	}
+
+	if s.Opts.Quorum > 0 {
+		for _, node := range s.Nodes {
+			node.SetQuorum(s.Opts.Quorum)
+		}
+	}
+
+	// Shared model mapper, agreed by all parties before training.
+	model := s.Build()
+	s.Mapper, err = NewMapper(model.NumParams(), s.Opts.Proportions, s.Opts.MapperSeed)
+	if err != nil {
+		return err
+	}
+	s.SetupLatency = time.Since(start)
+	return nil
+}
+
+// Run executes training with the DeTA life cycle and returns the history.
+// Setup is invoked automatically if it has not been run.
+func (s *Session) Run() (*fl.History, error) {
+	if s.Nodes == nil {
+		if err := s.Setup(); err != nil {
+			return nil, err
+		}
+	}
+	net := s.Build()
+	net.Init(s.InitSeed)
+	global := net.Params()
+
+	hist := &fl.History{System: "DETA"}
+	var cum time.Duration
+	for round := 1; round <= s.Cfg.Rounds; round++ {
+		start := time.Now()
+		roundID, err := s.Broker.RoundID(round)
+		if err != nil {
+			return nil, err
+		}
+		// Initiator notifies parties to start local training; each party
+		// transforms its update and uploads fragments to all aggregators.
+		var trainLoss float64
+		participants := 0
+		for _, p := range s.Parties {
+			if s.Availability != nil && !s.Availability(p.ID, round) {
+				continue // dropped out this round
+			}
+			participants++
+			update, loss, err := p.LocalUpdate(global, round)
+			if err != nil {
+				return nil, err
+			}
+			trainLoss += loss
+			frags, err := Transform(s.Mapper, s.Shuffler, update, roundID, s.Opts.Shuffle)
+			if err != nil {
+				return nil, err
+			}
+			for j, node := range s.Nodes {
+				if err := node.Upload(round, p.ID, frags[j], float64(p.NumExamples())); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if participants == 0 {
+			return nil, fmt.Errorf("core: round %d has no available parties", round)
+		}
+		trainLoss /= float64(participants)
+
+		// Initiator tells followers to aggregate their fragments. The
+		// aggregators are independent; run them concurrently as the
+		// deployment would.
+		if err := s.aggregateAll(round); err != nil {
+			return nil, err
+		}
+
+		// Parties download the aggregated fragments, reverse the
+		// transformation, and merge.
+		frags := make([]tensor.Vector, len(s.Nodes))
+		for j, node := range s.Nodes {
+			frags[j], err = node.Download(round, s.Parties[0].ID)
+			if err != nil {
+				return nil, err
+			}
+		}
+		fused, err := InverseTransform(s.Mapper, s.Shuffler, frags, roundID, s.Opts.Shuffle)
+		if err != nil {
+			return nil, err
+		}
+		global = s.applyUpdate(global, fused)
+		for _, node := range s.Nodes {
+			node.DropRound(round)
+		}
+		cum += time.Since(start)
+
+		m := fl.RoundMetrics{Round: round, TrainLoss: trainLoss, Cumulative: cum}
+		if s.Test != nil {
+			m.TestLoss, m.Accuracy, err = fl.Evaluate(s.Build, global, s.Test)
+			if err != nil {
+				return nil, err
+			}
+		}
+		hist.Rounds = append(hist.Rounds, m)
+	}
+	s.FinalParams = global
+	return hist, nil
+}
+
+// aggregateAll runs the initiator/follower synchronization: the initiator
+// (node 0) and the followers aggregate their rounds concurrently.
+func (s *Session) aggregateAll(round int) error {
+	errs := make([]error, len(s.Nodes))
+	var wg sync.WaitGroup
+	for j, node := range s.Nodes {
+		wg.Add(1)
+		go func(j int, node *AggregatorNode) {
+			defer wg.Done()
+			errs[j] = node.Aggregate(round)
+		}(j, node)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func (s *Session) applyUpdate(global, fused tensor.Vector) tensor.Vector {
+	if s.Cfg.Mode == fl.FedSGD {
+		out := global.Clone()
+		if err := tensor.AXPY(-s.Cfg.LR, out, fused); err != nil {
+			panic(err) // lengths validated by the mapper
+		}
+		return out
+	}
+	return fused
+}

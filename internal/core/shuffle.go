@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"deta/internal/rng"
+	"deta/internal/tensor"
+)
+
+// Shuffler implements the dynamic parameter-level shuffling of §4.2. Each
+// partitioned fragment is permuted with a permutation seeded by the
+// combination of the broker-held permutation key and the per-round training
+// identifier, plus the partition index for domain separation. The
+// permutation therefore changes every round but is identical across
+// parties, and unrecoverable without the key.
+type Shuffler struct {
+	permKey []byte
+}
+
+// NewShuffler wraps the shared permutation key dispatched by the key
+// broker.
+func NewShuffler(permKey []byte) (*Shuffler, error) {
+	if len(permKey) < 16 {
+		return nil, fmt.Errorf("core: permutation key of %d bytes is below the 16-byte minimum", len(permKey))
+	}
+	return &Shuffler{permKey: append([]byte(nil), permKey...)}, nil
+}
+
+// perm derives the round- and partition-specific permutation of length n.
+func (s *Shuffler) perm(roundID []byte, partition, n int) []int {
+	seed := rng.DeriveSeed(s.permKey, roundID, []byte(fmt.Sprintf("partition-%d", partition)))
+	return rng.NewStream(seed, "param-shuffle").Perm(n)
+}
+
+// Shuffle permutes a fragment for upload: out[i] = frag[perm[i]].
+func (s *Shuffler) Shuffle(frag tensor.Vector, roundID []byte, partition int) tensor.Vector {
+	p := s.perm(roundID, partition, len(frag))
+	out := make(tensor.Vector, len(frag))
+	for i, src := range p {
+		out[i] = frag[src]
+	}
+	return out
+}
+
+// Unshuffle restores a downloaded (aggregated) fragment to its original
+// order, inverting Shuffle for the same round and partition.
+func (s *Shuffler) Unshuffle(frag tensor.Vector, roundID []byte, partition int) tensor.Vector {
+	p := s.perm(roundID, partition, len(frag))
+	out := make(tensor.Vector, len(frag))
+	for i, src := range p {
+		out[src] = frag[i]
+	}
+	return out
+}
+
+// Transform is the full party-side Trans() of Figure 1: partition the local
+// update with the mapper, then shuffle each fragment for the round.
+// Shuffling can be disabled (partition-only mode) to reproduce the paper's
+// first attack configuration.
+func Transform(m *Mapper, s *Shuffler, update tensor.Vector, roundID []byte, shuffle bool) ([]tensor.Vector, error) {
+	frags, err := m.Partition(update)
+	if err != nil {
+		return nil, err
+	}
+	if shuffle {
+		if s == nil {
+			return nil, fmt.Errorf("core: shuffle requested without a shuffler")
+		}
+		for j := range frags {
+			frags[j] = s.Shuffle(frags[j], roundID, j)
+		}
+	}
+	return frags, nil
+}
+
+// InverseTransform is Trans^-1: reverse-shuffle each aggregated fragment
+// and merge them back into a full model update.
+func InverseTransform(m *Mapper, s *Shuffler, frags []tensor.Vector, roundID []byte, shuffle bool) (tensor.Vector, error) {
+	if shuffle {
+		if s == nil {
+			return nil, fmt.Errorf("core: unshuffle requested without a shuffler")
+		}
+		unshuffled := make([]tensor.Vector, len(frags))
+		for j := range frags {
+			unshuffled[j] = s.Unshuffle(frags[j], roundID, j)
+		}
+		frags = unshuffled
+	}
+	return m.Merge(frags)
+}

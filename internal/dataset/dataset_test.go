@@ -1,0 +1,240 @@
+package dataset
+
+import (
+	"testing"
+
+	"deta/internal/nn"
+	"deta/internal/optim"
+)
+
+func TestMakeDeterministic(t *testing.T) {
+	a := Make(MNIST, 20, []byte("seed"))
+	b := Make(MNIST, 20, []byte("seed"))
+	if a.Len() != 20 || b.Len() != 20 {
+		t.Fatalf("lengths %d, %d", a.Len(), b.Len())
+	}
+	for i := 0; i < 20; i++ {
+		sa, sb := a.At(i), b.At(i)
+		if sa.Label != sb.Label {
+			t.Fatal("labels differ under same seed")
+		}
+		for j := range sa.X {
+			if sa.X[j] != sb.X[j] {
+				t.Fatal("pixels differ under same seed")
+			}
+		}
+	}
+	c := Make(MNIST, 20, []byte("other"))
+	same := true
+	for j := range a.At(0).X {
+		if a.At(0).X[j] != c.At(0).X[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sample")
+	}
+}
+
+func TestSamplesInRangeAndBalanced(t *testing.T) {
+	d := Make(CIFAR10, 100, []byte("s"))
+	for i := 0; i < d.Len(); i++ {
+		s := d.At(i)
+		if len(s.X) != CIFAR10.Dim() {
+			t.Fatalf("sample %d has dim %d, want %d", i, len(s.X), CIFAR10.Dim())
+		}
+		if s.Label != i%10 {
+			t.Fatalf("sample %d label %d, want balanced %d", i, s.Label, i%10)
+		}
+		for _, v := range s.X {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %v out of [0,1]", v)
+			}
+		}
+	}
+	h := ClassHistogram(d)
+	for c, n := range h {
+		if n != 10 {
+			t.Fatalf("class %d has %d samples, want 10", c, n)
+		}
+	}
+}
+
+func TestSpecDims(t *testing.T) {
+	cases := []struct {
+		s   Spec
+		dim int
+	}{
+		{MNIST, 784}, {CIFAR10, 3072}, {CIFAR100, 3072},
+		{TinyImageNet, 768}, {RVLCDIP, 1024},
+	}
+	for _, c := range cases {
+		if c.s.Dim() != c.dim {
+			t.Errorf("%s: Dim = %d, want %d", c.s.Name, c.s.Dim(), c.dim)
+		}
+	}
+}
+
+func TestTrainTestSharedWorld(t *testing.T) {
+	train, test := TrainTest(MNIST, 40, 20, []byte("tt"))
+	if train.Len() != 40 || test.Len() != 20 {
+		t.Fatalf("sizes %d/%d", train.Len(), test.Len())
+	}
+	// Same-seed Make must reproduce both halves (shared templates).
+	all := Make(MNIST, 60, []byte("tt"))
+	for i := 0; i < 40; i++ {
+		if train.At(i).X[0] != all.At(i).X[0] {
+			t.Fatal("train half diverges from shared world")
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if test.At(i).X[0] != all.At(40 + i).X[0] {
+			t.Fatal("test half diverges from shared world")
+		}
+	}
+}
+
+func TestSplitIID(t *testing.T) {
+	d := Make(MNIST, 103, []byte("s"))
+	shards := SplitIID(d, 4, []byte("split"))
+	if len(shards) != 4 {
+		t.Fatalf("%d shards", len(shards))
+	}
+	for _, sh := range shards {
+		if sh.Len() != 25 {
+			t.Fatalf("shard size %d, want 25", sh.Len())
+		}
+	}
+	// Shards must be disjoint: fingerprint samples by first-pixel value +
+	// label (templates + per-sample noise make collisions implausible).
+	seen := map[[2]float64]bool{}
+	for _, sh := range shards {
+		for _, s := range sh.Samples {
+			key := [2]float64{s.X[0], float64(s.Label)}
+			if seen[key] {
+				t.Fatal("duplicate sample across IID shards")
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestSplitSkew(t *testing.T) {
+	d := Make(RVLCDIP, 16*40, []byte("s"))
+	shards := SplitSkew(d, 8, 2, 0.9, []byte("split"))
+	if len(shards) != 8 {
+		t.Fatalf("%d shards", len(shards))
+	}
+	for p, sh := range shards {
+		h := ClassHistogram(sh)
+		if sh.Len() == 0 {
+			t.Fatalf("party %d shard empty", p)
+		}
+		dom := 0
+		for k := 0; k < 2; k++ {
+			dom += h[(p*2+k)%16]
+		}
+		frac := float64(dom) / float64(sh.Len())
+		if frac < 0.6 {
+			t.Errorf("party %d dominant fraction %.2f, want skewed (>0.6); hist=%v", p, frac, h)
+		}
+	}
+}
+
+func TestSplitSkewPanics(t *testing.T) {
+	d := Make(MNIST, 10, []byte("s"))
+	for _, f := range []func(){
+		func() { SplitSkew(d, 0, 2, 0.9, nil) },
+		func() { SplitSkew(d, 2, 0, 0.9, nil) },
+		func() { SplitSkew(d, 2, 2, 1.5, nil) },
+		func() { SplitIID(d, 0, nil) },
+		func() { Batches(10, 0, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic on invalid parameters")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBatches(t *testing.T) {
+	bs := Batches(10, 3, []byte("b"))
+	if len(bs) != 4 {
+		t.Fatalf("%d batches, want 4", len(bs))
+	}
+	total := 0
+	seen := make([]bool, 10)
+	for _, b := range bs {
+		total += len(b)
+		for _, i := range b {
+			if seen[i] {
+				t.Fatal("index repeated across batches")
+			}
+			seen[i] = true
+		}
+	}
+	if total != 10 {
+		t.Fatalf("batches cover %d indices, want 10", total)
+	}
+	if len(bs[3]) != 1 {
+		t.Fatalf("last batch len %d, want 1", len(bs[3]))
+	}
+}
+
+// The synthetic data must actually be learnable — a small ConvNet should
+// reach high train accuracy quickly, otherwise the accuracy/convergence
+// experiments are meaningless.
+func TestSyntheticDataIsLearnable(t *testing.T) {
+	spec := Spec{Name: "tiny", C: 1, H: 12, W: 12, Classes: 4}
+	d := Make(spec, 64, []byte("learn"))
+	net := nn.ConvNet8(1, 12, 12, 4)
+	net.Init([]byte("model"))
+	opt := optim.NewMomentumSGD(0.05, 0.9)
+	best := 0.0
+	for epoch := 0; epoch < 40; epoch++ {
+		for _, batch := range Batches(d.Len(), 8, []byte{byte(epoch)}) {
+			net.ZeroGrads()
+			for _, i := range batch {
+				s := d.At(i)
+				out := net.Forward(s.X, true)
+				_, g, err := nn.CrossEntropy(out, s.Label)
+				if err != nil {
+					t.Fatal(err)
+				}
+				net.Backward(g)
+			}
+			params := net.Params()
+			grads := net.Grads()
+			for i := range grads {
+				grads[i] /= float64(len(batch))
+			}
+			if err := opt.Step(params, grads); err != nil {
+				t.Fatal(err)
+			}
+			if err := net.SetParams(params); err != nil {
+				t.Fatal(err)
+			}
+		}
+		correct := 0
+		for i := 0; i < d.Len(); i++ {
+			s := d.At(i)
+			if net.Predict(s.X) == s.Label {
+				correct++
+			}
+		}
+		if acc := float64(correct) / float64(d.Len()); acc > best {
+			best = acc
+		}
+		if best >= 0.95 {
+			break
+		}
+	}
+	if best < 0.9 {
+		t.Fatalf("best train accuracy %.2f over 40 epochs; synthetic data not learnable", best)
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deta/internal/attack"
+	"deta/internal/dataset"
+	"deta/internal/nn"
+)
+
+// mseBuckets are the fidelity thresholds of Tables 1 and 2 (MSE against
+// the ground-truth image; below 1e-3 is "recognizable").
+var mseBuckets = []float64{1e-3, 1, 1e3}
+
+var mseBucketLabels = []string{"[0,1e-3)", "[1e-3,1)", "[1,1e3)", ">=1e3"}
+
+// cosineBuckets are Table 3's cosine-distance ranges.
+var cosineBuckets = []float64{0.01, 0.2, 0.4, 0.6, 0.8}
+
+var cosineBucketLabels = []string{"[0,0.01)", "[0.01,0.2)", "[0.2,0.4)", "[0.4,0.6)", "[0.6,0.8)", "[0.8,1]"}
+
+// attackKind selects the reconstruction attack for the table runners.
+type attackKind int
+
+const (
+	kindDLG attackKind = iota
+	kindIDLG
+)
+
+// runDLGTable produces Table 1 (DLG) or Table 2 (iDLG): per scenario, the
+// fraction of reconstructions in each MSE bucket, over sc.AttackImages
+// randomly-initialized-LeNet reconstructions of CIFAR-100-like inputs.
+func runDLGTable(kind attackKind, sc Scale) (*Table, error) {
+	side := sc.AttackSide
+	spec := dataset.Spec{Name: "cifar100-syn-small", C: 3, H: side, W: side, Classes: dataset.CIFAR100.Classes}
+	data := dataset.Make(spec, sc.AttackImages, []byte("attack-table-data"))
+
+	// Randomly initialized LeNet, as in the DLG/iDLG evaluations.
+	net := nn.LeNetDLG(3, side, side, spec.Classes)
+	net.Init([]byte("attack-table-model"))
+	oracle := attack.NewOracle(net)
+
+	counts := make(map[string][]int, len(attack.TableScenarios))
+	for _, scenario := range attack.TableScenarios {
+		counts[scenario.Name] = make([]int, len(mseBuckets)+1)
+	}
+
+	for i := 0; i < data.Len(); i++ {
+		sample := data.At(i)
+		grad, err := oracle.VictimGradient(sample.X, sample.Label)
+		if err != nil {
+			return nil, err
+		}
+		for _, scenario := range attack.TableScenarios {
+			obs, err := attack.Observe(grad, scenario, []byte("attack-mapper"), []byte(fmt.Sprintf("round-%d", i)))
+			if err != nil {
+				return nil, err
+			}
+			cfg := attack.DLGConfig{Iterations: sc.AttackIters, LR: 0.3, Seed: []byte(fmt.Sprintf("img-%d", i))}
+			var res *attack.Result
+			if kind == kindDLG {
+				res, err = attack.DLG(oracle, obs, sample.X, sample.Label, cfg)
+			} else {
+				res, err = attack.IDLG(oracle, obs, sample.X, sample.Label, cfg)
+			}
+			if err != nil {
+				return nil, err
+			}
+			counts[scenario.Name][bucketize(res.MSE, mseBuckets)]++
+		}
+	}
+
+	name := "DLG"
+	title := "Table 1: Fidelity Threshold (MSE) for DLG with Model Partitioning and Parameter Shuffling"
+	if kind == kindIDLG {
+		name = "iDLG"
+		title = "Table 2: Fidelity Threshold (MSE) for iDLG with Model Partitioning and Parameter Shuffling"
+	}
+	t := &Table{
+		Title:  title,
+		Header: []string{name + " MSE", "Full*", "0.6", "0.2", "Full+Sh", "0.6+Sh", "0.2+Sh"},
+	}
+	for b, label := range mseBucketLabels {
+		row := []string{label}
+		for _, scenario := range attack.TableScenarios {
+			row = append(row, percent(counts[scenario.Name][b], sc.AttackImages))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d images, %d iterations, LeNet on %dx%dx3 synthetic CIFAR-100 (reduced scale; paper: 1000 images, 32x32)",
+			sc.AttackImages, sc.AttackIters, side, side),
+		"Full* = attack sees the entire in-order model update (no DeTA); paper baseline column")
+	return t, nil
+}
+
+// Table1 reproduces the DLG grid.
+func Table1(sc Scale) (*Table, error) { return runDLGTable(kindDLG, sc) }
+
+// Table2 reproduces the iDLG grid.
+func Table2(sc Scale) (*Table, error) { return runDLGTable(kindIDLG, sc) }
+
+// Table3 reproduces the IG grid: final cosine distance buckets for the
+// Inverting Gradients attack against a randomly initialized ResNet-18-lite
+// on ImageNet-like inputs.
+func Table3(sc Scale) (*Table, error) {
+	side := sc.IGSide
+	spec := dataset.Spec{Name: "imagenet-syn-small", C: 3, H: side, W: side, Classes: dataset.TinyImageNet.Classes}
+	data := dataset.Make(spec, sc.IGImages, []byte("ig-table-data"))
+
+	net := nn.ResNet18Lite(3, side, side, spec.Classes, [4]int{4, 8, 16, 32})
+	net.Init([]byte("ig-table-model"))
+	oracle := attack.NewOracle(net)
+
+	counts := make(map[string][]int, len(attack.TableScenarios))
+	for _, scenario := range attack.TableScenarios {
+		counts[scenario.Name] = make([]int, len(cosineBuckets)+1)
+	}
+	for i := 0; i < data.Len(); i++ {
+		sample := data.At(i)
+		grad, err := oracle.VictimGradient(sample.X, sample.Label)
+		if err != nil {
+			return nil, err
+		}
+		for _, scenario := range attack.TableScenarios {
+			obs, err := attack.Observe(grad, scenario, []byte("ig-mapper"), []byte(fmt.Sprintf("round-%d", i)))
+			if err != nil {
+				return nil, err
+			}
+			res, err := attack.IG(oracle, obs, sample.X, sample.Label, attack.IGConfig{
+				Iterations: sc.IGIters,
+				Restarts:   sc.IGRestarts,
+				LR:         0.05,
+				TVWeight:   1e-3,
+				Channels:   3, Height: side, Width: side,
+				Seed: []byte(fmt.Sprintf("ig-img-%d", i)),
+			})
+			if err != nil {
+				return nil, err
+			}
+			d := res.CosineDist
+			if d > 1 {
+				d = 1
+			}
+			counts[scenario.Name][bucketize(d, cosineBuckets)]++
+		}
+	}
+	t := &Table{
+		Title:  "Table 3: Final Cosine Distance for IG with Model Partitioning and Parameter Shuffling",
+		Header: []string{"IG Cosine Distance", "Full*", "0.6", "0.2", "Full+Sh", "0.6+Sh", "0.2+Sh"},
+	}
+	for b, label := range cosineBucketLabels {
+		row := []string{label}
+		for _, scenario := range attack.TableScenarios {
+			row = append(row, percent(counts[scenario.Name][b], sc.IGImages))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d images, %d iterations x %d restarts, ResNet-18-lite on %dx%dx3 synthetic ImageNet (reduced scale; paper: 50 images, 24000 iterations, 224x224)",
+			sc.IGImages, sc.IGIters, sc.IGRestarts, side, side))
+	return t, nil
+}
+
+// ReconstructionMSEStats summarizes MSE values per scenario for ad-hoc
+// analysis (cmd/deta-attack).
+func ReconstructionMSEStats(results map[string][]float64) *Table {
+	t := &Table{
+		Title:  "Reconstruction MSE by scenario",
+		Header: []string{"Scenario", "Min", "Mean", "Max"},
+	}
+	for _, scenario := range attack.TableScenarios {
+		vals := results[scenario.Name]
+		if len(vals) == 0 {
+			continue
+		}
+		mn, mx := vals[0], vals[0]
+		var sum float64
+		for _, v := range vals {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+			sum += v
+		}
+		t.Rows = append(t.Rows, []string{
+			scenario.Name,
+			fmt.Sprintf("%.3g", mn),
+			fmt.Sprintf("%.3g", sum/float64(len(vals))),
+			fmt.Sprintf("%.3g", mx),
+		})
+	}
+	return t
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV export so results can feed external plotting tools; cmd/deta-bench
+// exposes it via -format csv.
+
+// RenderCSV writes the table as CSV rows (header first). Notes become
+// trailing comment-style rows prefixed with "#".
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if t.Title != "" {
+		if err := cw.Write([]string{"# " + t.Title}); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if err := cw.Write([]string{"# " + n}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderCSV writes the figure as CSV: one row per X value, one column per
+// series.
+func (f *Figure) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if f.Title != "" {
+		if err := cw.Write([]string{"# " + f.Title}); err != nil {
+			return err
+		}
+	}
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, x := range f.X {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%g", s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range f.Notes {
+		if err := cw.Write([]string{"# " + n}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Format selects a rendering for the registry runners.
+type Format int
+
+// Output formats.
+const (
+	FormatText Format = iota
+	FormatCSV
+)
+
+// tableRunnerFmt and figureRunnerFmt build runners honoring a format.
+func tableRunnerFmt(f func(Scale) (*Table, error), format Format) Runner {
+	return func(sc Scale, w io.Writer) error {
+		t, err := f(sc)
+		if err != nil {
+			return err
+		}
+		if format == FormatCSV {
+			return t.RenderCSV(w)
+		}
+		t.Render(w)
+		return nil
+	}
+}
+
+func figureRunnerFmt(f func(Scale) (*Figure, *Figure, error), format Format) Runner {
+	return func(sc Scale, w io.Writer) error {
+		lossAcc, latency, err := f(sc)
+		if err != nil {
+			return err
+		}
+		if format == FormatCSV {
+			if err := lossAcc.RenderCSV(w); err != nil {
+				return err
+			}
+			return latency.RenderCSV(w)
+		}
+		lossAcc.Render(w)
+		latency.Render(w)
+		return nil
+	}
+}
+
+// RunFormatted executes an experiment with the chosen output format.
+// Experiments without a CSV form (the ASCII reconstruction grids) fall
+// back to text.
+func RunFormatted(id string, sc Scale, format Format, w io.Writer) error {
+	if format == FormatText {
+		return Run(id, sc, w)
+	}
+	if t, ok := tableBuilders[id]; ok {
+		return tableRunnerFmt(t, format)(sc, w)
+	}
+	if f, ok := figureBuilders[id]; ok {
+		return figureRunnerFmt(f, format)(sc, w)
+	}
+	return Run(id, sc, w)
+}
+
+// Builder registries mirror Registry for format-aware rendering.
+var tableBuilders = map[string]func(Scale) (*Table, error){
+	"table1":               Table1,
+	"table2":               Table2,
+	"table3":               Table3,
+	"ablation-shuffle":     AblationShuffleCost,
+	"ablation-aggs":        AblationAggregatorCount,
+	"ablation-auth":        AblationAuthCost,
+	"ablation-keyspace":    AblationKeySpace,
+	"ablation-knownmapper": AblationKnownMapper,
+	"ablation-dropout":     AblationDropout,
+	"ablation-geo":         AblationGeoLatency,
+	"ablation-labels":      AblationLabelInference,
+	"ablation-ldp":         AblationLDP,
+}
+
+var figureBuilders = map[string]func(Scale) (*Figure, *Figure, error){
+	"fig5a": Fig5a,
+	"fig5b": Fig5b,
+	"fig5c": Fig5c,
+	"fig6":  Fig6,
+	"fig7":  Fig7,
+}

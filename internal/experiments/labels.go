@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deta/internal/attack"
+	"deta/internal/dataset"
+	"deta/internal/nn"
+)
+
+// AblationLabelInference measures iDLG's analytic label-inference accuracy
+// under each breach scenario. Label leakage is a privacy harm on its own
+// (it reveals *what* a party trained on even if the image cannot be
+// reconstructed); this ablation shows DeTA's transforms also destroy the
+// final-layer structure the sign rule depends on.
+func AblationLabelInference(sc Scale) (*Table, error) {
+	side := sc.AttackSide
+	spec := dataset.Spec{Name: "labels", C: 3, H: side, W: side, Classes: 10}
+	data := dataset.Make(spec, sc.AttackImages*4, []byte("labels-data"))
+	net := nn.LeNetDLG(3, side, side, spec.Classes)
+	net.Init([]byte("labels-model"))
+	oracle := attack.NewOracle(net)
+
+	correct := map[string]int{}
+	total := 0
+	for i := 0; i < data.Len(); i++ {
+		sample := data.At(i)
+		grad, err := oracle.VictimGradient(sample.X, sample.Label)
+		if err != nil {
+			return nil, err
+		}
+		total++
+		for _, scenario := range attack.TableScenarios {
+			obs, err := attack.Observe(grad, scenario, []byte("labels-mapper"), []byte(fmt.Sprintf("r%d", i)))
+			if err != nil {
+				return nil, err
+			}
+			if attack.InferLabeliDLG(oracle, obs) == sample.Label {
+				correct[scenario.Name]++
+			}
+		}
+	}
+	t := &Table{
+		Title:  "Ablation: iDLG label-inference accuracy under breach scenarios (10 classes; chance = 10%)",
+		Header: []string{"Scenario", "LabelAccuracy"},
+	}
+	for _, scenario := range attack.TableScenarios {
+		t.Rows = append(t.Rows, []string{scenario.Name, percent(correct[scenario.Name], total)})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d single-example gradients; inference uses the final-layer sign rule of Zhao et al.", total),
+		"with a full in-order gradient the rule is exact; DeTA's partition/shuffle reduce it toward chance")
+	return t, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one experiment at the given scale and renders its
+// results.
+type Runner func(sc Scale, w io.Writer) error
+
+func tableRunner(f func(Scale) (*Table, error)) Runner {
+	return func(sc Scale, w io.Writer) error {
+		t, err := f(sc)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}
+}
+
+func figureRunner(f func(Scale) (*Figure, *Figure, error)) Runner {
+	return func(sc Scale, w io.Writer) error {
+		lossAcc, latency, err := f(sc)
+		if err != nil {
+			return err
+		}
+		lossAcc.Render(w)
+		latency.Render(w)
+		return nil
+	}
+}
+
+// Registry maps experiment IDs (DESIGN.md §4) to runners.
+var Registry = map[string]Runner{
+	"table1":               tableRunner(Table1),
+	"table2":               tableRunner(Table2),
+	"table3":               tableRunner(Table3),
+	"fig3":                 Fig3,
+	"fig4":                 Fig4,
+	"fig5a":                figureRunner(Fig5a),
+	"fig5b":                figureRunner(Fig5b),
+	"fig5c":                figureRunner(Fig5c),
+	"fig6":                 figureRunner(Fig6),
+	"fig7":                 figureRunner(Fig7),
+	"ablation-shuffle":     tableRunner(AblationShuffleCost),
+	"ablation-aggs":        tableRunner(AblationAggregatorCount),
+	"ablation-auth":        tableRunner(AblationAuthCost),
+	"ablation-keyspace":    tableRunner(AblationKeySpace),
+	"ablation-knownmapper": tableRunner(AblationKnownMapper),
+	"ablation-dropout":     tableRunner(AblationDropout),
+	"ablation-geo":         tableRunner(AblationGeoLatency),
+	"ablation-labels":      tableRunner(AblationLabelInference),
+	"ablation-ldp":         tableRunner(AblationLDP),
+}
+
+// IDs returns the registered experiment IDs in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, sc Scale, w io.Writer) error {
+	r, ok := Registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(sc, w)
+}
+
+// RunAll executes every registered experiment.
+func RunAll(sc Scale, w io.Writer) error {
+	for _, id := range IDs() {
+		fmt.Fprintf(w, "### experiment %s\n", id)
+		if err := Run(id, sc, w); err != nil {
+			return fmt.Errorf("experiments: %s: %w", id, err)
+		}
+	}
+	return nil
+}

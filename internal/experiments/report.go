@@ -1,0 +1,147 @@
+// Package experiments contains one runner per table and figure in the
+// paper's evaluation (Tables 1-3, Figures 5-7), plus ablations. Each runner
+// builds its workload from the synthetic datasets, executes both systems
+// (DeTA and the FFL baseline) or the attack grid, and renders the same rows
+// or series the paper reports. cmd/deta-bench and the root bench_test.go
+// drive this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result in the paper's row/column format.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one plotted line (e.g. DETA-Loss over training rounds).
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure is a set of series over a shared X axis (training rounds).
+type Figure struct {
+	Title  string
+	XLabel string
+	X      []float64
+	Series []Series
+	Notes  []string
+}
+
+// Render writes the figure as a column-per-series text table.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", f.Title)
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	rows := make([][]string, len(f.X))
+	for i, x := range f.X {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, fmt.Sprintf("%.4f", s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows[i] = row
+	}
+	t := Table{Title: "", Header: header, Rows: rows}
+	// Reuse table alignment without the banner line.
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	for _, row := range rows {
+		line(row)
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// bucketize assigns value v to the first bucket whose upper bound exceeds
+// it; bounds are upper edges, the last bucket is unbounded.
+func bucketize(v float64, upper []float64) int {
+	for i, u := range upper {
+		if v < u {
+			return i
+		}
+	}
+	return len(upper)
+}
+
+// percent formats a count as a percentage of total.
+func percent(count, total int) string {
+	if total == 0 {
+		return "0%"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(count)/float64(total))
+}

@@ -1,0 +1,107 @@
+package experiments
+
+// Scale sets every knob that trades fidelity to the paper's setup against
+// wall-clock time. The paper's experiments ran on GPU clusters for hours;
+// the reproduction's defaults are laptop-scale with the same structure
+// (same party counts, round counts, and scenario grids), and every knob can
+// be raised via cmd/deta-bench flags.
+type Scale struct {
+	// Federated-learning workloads (Figures 5-7).
+	SamplesPerParty int
+	TestSamples     int
+	BatchSize       int
+	LR              float64
+	Momentum        float64
+	Aggregators     int
+
+	// MNIST/Figure 5.
+	MNISTRounds      int
+	MNISTLocalEpochs int
+	MNISTSide        int // image side length (paper: 28)
+
+	// Paillier/Figure 5c+5f.
+	PaillierRounds int
+	PaillierBits   int
+
+	// CIFAR-10/Figure 6.
+	CIFARRounds int
+	CIFARSide   int // paper: 32
+
+	// RVL-CDIP/Figure 7.
+	RVLRounds int
+
+	// Attack experiments (Tables 1-3).
+	AttackImages int // paper: 1000 (DLG/iDLG), 50 (IG)
+	AttackIters  int // paper: 300
+	AttackSide   int // CIFAR-100 stand-in side length (paper: 32)
+	IGImages     int
+	IGIters      int // paper: 24000
+	IGRestarts   int // paper: 2
+	IGSide       int // ImageNet stand-in side length (paper: 224)
+}
+
+// FastScale is the configuration used by `go test` and the benchmarks:
+// minutes of total runtime, preserving every structural property.
+func FastScale() Scale {
+	return Scale{
+		SamplesPerParty: 24,
+		TestSamples:     24,
+		BatchSize:       8,
+		LR:              0.05,
+		Momentum:        0.9,
+		Aggregators:     3,
+
+		MNISTRounds:      4,
+		MNISTLocalEpochs: 1,
+		MNISTSide:        16,
+
+		PaillierRounds: 1,
+		PaillierBits:   256,
+
+		CIFARRounds: 4,
+		CIFARSide:   16,
+
+		RVLRounds: 3,
+
+		AttackImages: 6,
+		AttackIters:  120,
+		AttackSide:   8,
+		IGImages:     3,
+		IGIters:      150,
+		IGRestarts:   1,
+		IGSide:       8,
+	}
+}
+
+// DefaultScale is cmd/deta-bench's default: tens of minutes total,
+// matching the paper's round counts.
+func DefaultScale() Scale {
+	return Scale{
+		SamplesPerParty: 64,
+		TestSamples:     64,
+		BatchSize:       8,
+		LR:              0.05,
+		Momentum:        0.9,
+		Aggregators:     3,
+
+		MNISTRounds:      10,
+		MNISTLocalEpochs: 3,
+		MNISTSide:        28,
+
+		PaillierRounds: 3,
+		PaillierBits:   512,
+
+		CIFARRounds: 30,
+		CIFARSide:   16,
+
+		RVLRounds: 30,
+
+		AttackImages: 20,
+		AttackIters:  300,
+		AttackSide:   12,
+		IGImages:     8,
+		IGIters:      1000,
+		IGRestarts:   2,
+		IGSide:       12,
+	}
+}

@@ -1,0 +1,341 @@
+// Package fl is a from-scratch cross-silo federated-learning framework,
+// playing the role of the paper's baseline FFL platform: N parties with
+// private local data, a central aggregator running a pluggable aggregation
+// algorithm, and a synchronous round loop that records per-round loss,
+// accuracy, and cumulative latency — the quantities Figures 5-7 plot.
+//
+// DeTA (internal/core) reuses the Party type and the metrics machinery,
+// replacing only the upload path (partition + shuffle to multiple
+// aggregators) — exactly the relationship between DeTA and FFL in the
+// paper's implementation (§5).
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"deta/internal/agg"
+	"deta/internal/dataset"
+	"deta/internal/nn"
+	"deta/internal/optim"
+	"deta/internal/tensor"
+)
+
+// Mode selects the FL algorithm family.
+type Mode int
+
+// Training modes.
+const (
+	// FedAvg: parties run local epochs and upload model parameters; the
+	// aggregator computes a weighted average.
+	FedAvg Mode = iota
+	// FedSGD: parties upload one batch's gradients; the aggregator
+	// averages them and takes a global SGD step.
+	FedSGD
+)
+
+// Config holds the hyperparameters shared by all parties and experiments.
+type Config struct {
+	Mode        Mode
+	Rounds      int
+	LocalEpochs int
+	BatchSize   int
+	LR          float64
+	Momentum    float64
+	Seed        []byte
+
+	// LDP, when non-nil, applies local differential privacy to every
+	// party's update before it leaves the device: the update delta is
+	// clipped and Gaussian-perturbed (§8.1). Composes with DeTA's
+	// transform, which runs afterwards.
+	LDP *LDPConfig
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Rounds <= 0 {
+		return errors.New("fl: Rounds must be positive")
+	}
+	if c.Mode == FedAvg && c.LocalEpochs <= 0 {
+		return errors.New("fl: LocalEpochs must be positive for FedAvg")
+	}
+	if c.BatchSize <= 0 {
+		return errors.New("fl: BatchSize must be positive")
+	}
+	if c.LR <= 0 {
+		return errors.New("fl: LR must be positive")
+	}
+	return nil
+}
+
+// Party is one training participant: its model replica, its private shard,
+// and its optimizer state.
+type Party struct {
+	ID   string
+	Net  *nn.Network
+	Data *dataset.Dataset
+
+	cfg Config
+	opt *optim.SGD
+}
+
+// NewParty builds a participant. build must construct the (uninitialized)
+// shared model architecture.
+func NewParty(id string, build func() *nn.Network, data *dataset.Dataset, cfg Config) *Party {
+	return &Party{
+		ID:   id,
+		Net:  build(),
+		Data: data,
+		cfg:  cfg,
+		opt:  optim.NewMomentumSGD(cfg.LR, cfg.Momentum),
+	}
+}
+
+// NumExamples returns the party's local dataset size (the FedAvg weight).
+func (p *Party) NumExamples() int { return p.Data.Len() }
+
+// LocalUpdate runs one round of local training from the given global
+// parameters and returns the party's model update (new parameters for
+// FedAvg; averaged batch gradients for FedSGD) plus the mean training loss
+// observed.
+func (p *Party) LocalUpdate(global tensor.Vector, round int) (tensor.Vector, float64, error) {
+	if err := p.Net.SetParams(global); err != nil {
+		return nil, 0, fmt.Errorf("fl: party %s: %w", p.ID, err)
+	}
+	var update tensor.Vector
+	var loss float64
+	var err error
+	switch p.cfg.Mode {
+	case FedSGD:
+		update, loss, err = p.localGradient(round)
+	default:
+		update, loss, err = p.localEpochs(round)
+	}
+	if err != nil || p.cfg.LDP == nil {
+		return update, loss, err
+	}
+	// LDP perturbs the *delta* a party reveals: the gradient itself for
+	// FedSGD, or the parameter change relative to the global model for
+	// FedAvg.
+	if p.cfg.Mode == FedSGD {
+		update, err = p.cfg.LDP.Perturb(update, p.ID, round)
+		return update, loss, err
+	}
+	delta, err := tensor.Sub(update, global)
+	if err != nil {
+		return nil, 0, err
+	}
+	noisy, err := p.cfg.LDP.Perturb(delta, p.ID, round)
+	if err != nil {
+		return nil, 0, err
+	}
+	perturbed, err := tensor.Add(global, noisy)
+	if err != nil {
+		return nil, 0, err
+	}
+	return perturbed, loss, nil
+}
+
+func (p *Party) localEpochs(round int) (tensor.Vector, float64, error) {
+	var lossSum float64
+	var lossN int
+	for epoch := 0; epoch < p.cfg.LocalEpochs; epoch++ {
+		seed := append(append([]byte(nil), p.cfg.Seed...), []byte(fmt.Sprintf("/%s/r%d/e%d", p.ID, round, epoch))...)
+		for _, batch := range dataset.Batches(p.Data.Len(), p.cfg.BatchSize, seed) {
+			p.Net.ZeroGrads()
+			for _, i := range batch {
+				s := p.Data.At(i)
+				out := p.Net.Forward(s.X, true)
+				loss, g, err := nn.CrossEntropy(out, s.Label)
+				if err != nil {
+					return nil, 0, err
+				}
+				lossSum += loss
+				lossN++
+				p.Net.Backward(g)
+			}
+			params := p.Net.Params()
+			grads := p.Net.Grads()
+			tensor.ScaleInPlace(1/float64(len(batch)), grads)
+			if err := p.opt.Step(params, grads); err != nil {
+				return nil, 0, err
+			}
+			if err := p.Net.SetParams(params); err != nil {
+				return nil, 0, err
+			}
+		}
+	}
+	if lossN == 0 {
+		return nil, 0, fmt.Errorf("fl: party %s has no training data", p.ID)
+	}
+	return p.Net.Params(), lossSum / float64(lossN), nil
+}
+
+func (p *Party) localGradient(round int) (tensor.Vector, float64, error) {
+	seed := append(append([]byte(nil), p.cfg.Seed...), []byte(fmt.Sprintf("/%s/r%d/sgd", p.ID, round))...)
+	batches := dataset.Batches(p.Data.Len(), p.cfg.BatchSize, seed)
+	if len(batches) == 0 {
+		return nil, 0, fmt.Errorf("fl: party %s has no training data", p.ID)
+	}
+	batch := batches[0]
+	p.Net.ZeroGrads()
+	var lossSum float64
+	for _, i := range batch {
+		s := p.Data.At(i)
+		out := p.Net.Forward(s.X, true)
+		loss, g, err := nn.CrossEntropy(out, s.Label)
+		if err != nil {
+			return nil, 0, err
+		}
+		lossSum += loss
+		p.Net.Backward(g)
+	}
+	grads := p.Net.Grads()
+	tensor.ScaleInPlace(1/float64(len(batch)), grads)
+	return grads, lossSum / float64(len(batch)), nil
+}
+
+// RoundMetrics records one training round's outcome, matching the series
+// plotted in the paper's figures.
+type RoundMetrics struct {
+	Round      int
+	TrainLoss  float64
+	TestLoss   float64
+	Accuracy   float64
+	Cumulative time.Duration // accumulated wall-clock latency through this round
+}
+
+// History is the full training record.
+type History struct {
+	System string // "FFL" or "DETA"
+	Rounds []RoundMetrics
+}
+
+// Final returns the last round's metrics.
+func (h *History) Final() RoundMetrics {
+	if len(h.Rounds) == 0 {
+		return RoundMetrics{}
+	}
+	return h.Rounds[len(h.Rounds)-1]
+}
+
+// Evaluate computes mean loss and accuracy of a model with the given
+// parameters over a test set.
+func Evaluate(build func() *nn.Network, params tensor.Vector, test *dataset.Dataset) (loss, acc float64, err error) {
+	net := build()
+	if err := net.SetParams(params); err != nil {
+		return 0, 0, err
+	}
+	var lossSum float64
+	correct := 0
+	for i := 0; i < test.Len(); i++ {
+		s := test.At(i)
+		out := net.Forward(s.X, false)
+		l, _, err := nn.CrossEntropy(out, s.Label)
+		if err != nil {
+			return 0, 0, err
+		}
+		lossSum += l
+		if argmax(out) == s.Label {
+			correct++
+		}
+	}
+	n := float64(test.Len())
+	if n == 0 {
+		return 0, 0, errors.New("fl: empty test set")
+	}
+	return lossSum / n, float64(correct) / n, nil
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Session is the baseline (FFL-style) training session with one central
+// aggregator.
+type Session struct {
+	Cfg       Config
+	Algorithm agg.Algorithm
+	Build     func() *nn.Network
+	Parties   []*Party
+	Test      *dataset.Dataset
+
+	// InitSeed seeds the shared initial model all parties start from.
+	InitSeed []byte
+
+	// FinalParams holds the global model parameters after Run completes.
+	FinalParams tensor.Vector
+}
+
+// Run executes the configured number of rounds and returns the history.
+func (s *Session) Run() (*History, error) {
+	if err := s.Cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(s.Parties) == 0 {
+		return nil, errors.New("fl: no parties")
+	}
+	global := s.initialParams()
+	hist := &History{System: "FFL"}
+	var cum time.Duration
+	for round := 1; round <= s.Cfg.Rounds; round++ {
+		start := time.Now()
+		updates := make([]tensor.Vector, len(s.Parties))
+		weights := make([]float64, len(s.Parties))
+		var trainLoss float64
+		for i, p := range s.Parties {
+			u, loss, err := p.LocalUpdate(global, round)
+			if err != nil {
+				return nil, err
+			}
+			updates[i] = u
+			weights[i] = float64(p.NumExamples())
+			trainLoss += loss
+		}
+		trainLoss /= float64(len(s.Parties))
+
+		fused, err := s.Algorithm.Aggregate(updates, weights)
+		if err != nil {
+			return nil, err
+		}
+		global = s.applyUpdate(global, fused)
+		cum += time.Since(start)
+
+		m := RoundMetrics{Round: round, TrainLoss: trainLoss, Cumulative: cum}
+		if s.Test != nil {
+			m.TestLoss, m.Accuracy, err = Evaluate(s.Build, global, s.Test)
+			if err != nil {
+				return nil, err
+			}
+		}
+		hist.Rounds = append(hist.Rounds, m)
+	}
+	s.FinalParams = global
+	return hist, nil
+}
+
+func (s *Session) initialParams() tensor.Vector {
+	net := s.Build()
+	net.Init(s.InitSeed)
+	return net.Params()
+}
+
+// applyUpdate merges the aggregated update into the global model according
+// to the mode: FedAvg replaces parameters; FedSGD takes a gradient step.
+func (s *Session) applyUpdate(global, fused tensor.Vector) tensor.Vector {
+	if s.Cfg.Mode == FedSGD {
+		out := global.Clone()
+		if err := tensor.AXPY(-s.Cfg.LR, out, fused); err != nil {
+			panic(err) // lengths are validated upstream
+		}
+		return out
+	}
+	return fused
+}

@@ -1,0 +1,243 @@
+package fl
+
+import (
+	"strings"
+	"testing"
+
+	"deta/internal/agg"
+	"deta/internal/dataset"
+	"deta/internal/nn"
+	"deta/internal/tensor"
+)
+
+var tinySpec = dataset.Spec{Name: "fl-tiny", C: 1, H: 12, W: 12, Classes: 4}
+
+func tinyBuild() *nn.Network { return nn.ConvNet8(1, 12, 12, 4) }
+
+func tinySession(t *testing.T, parties int, mode Mode, alg agg.Algorithm) *Session {
+	t.Helper()
+	train, test := dataset.TrainTest(tinySpec, 32*parties, 32, []byte("fl-data"))
+	shards := dataset.SplitIID(train, parties, []byte("fl-split"))
+	cfg := Config{
+		Mode: mode, Rounds: 3, LocalEpochs: 2, BatchSize: 8,
+		LR: 0.05, Momentum: 0.9, Seed: []byte("fl-cfg"),
+	}
+	ps := make([]*Party, parties)
+	for i := range ps {
+		ps[i] = NewParty(partyID(i), tinyBuild, shards[i], cfg)
+	}
+	return &Session{
+		Cfg: cfg, Algorithm: alg, Build: tinyBuild,
+		Parties: ps, Test: test, InitSeed: []byte("fl-init"),
+	}
+}
+
+func partyID(i int) string { return "P" + string(rune('1'+i)) }
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{Rounds: 1, BatchSize: 8, LR: 0.1},   // FedAvg needs epochs
+		{Rounds: 1, LocalEpochs: 1, LR: 0.1}, // no batch size
+		{Rounds: 1, LocalEpochs: 1, BatchSize: 8},          // no LR
+		{Rounds: 0, LocalEpochs: 1, BatchSize: 8, LR: 0.1}, // no rounds
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+	ok := Config{Mode: FedSGD, Rounds: 1, BatchSize: 8, LR: 0.1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("FedSGD without epochs rejected: %v", err)
+	}
+}
+
+func TestFedAvgTrainingConverges(t *testing.T) {
+	s := tinySession(t, 4, FedAvg, agg.IterativeAverage{})
+	s.Cfg.Rounds = 6
+	for _, p := range s.Parties {
+		p.cfg.Rounds = 6
+	}
+	hist, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Rounds) != 6 {
+		t.Fatalf("recorded %d rounds", len(hist.Rounds))
+	}
+	first, last := hist.Rounds[0], hist.Final()
+	if last.TrainLoss >= first.TrainLoss {
+		t.Errorf("train loss did not decrease: %v -> %v", first.TrainLoss, last.TrainLoss)
+	}
+	if last.Accuracy < 0.5 {
+		t.Errorf("final accuracy %.2f too low", last.Accuracy)
+	}
+	// Latency must be cumulative (non-decreasing).
+	for i := 1; i < len(hist.Rounds); i++ {
+		if hist.Rounds[i].Cumulative < hist.Rounds[i-1].Cumulative {
+			t.Error("cumulative latency decreased")
+		}
+	}
+}
+
+func TestFedSGDRuns(t *testing.T) {
+	s := tinySession(t, 2, FedSGD, agg.IterativeAverage{})
+	s.Cfg.Mode = FedSGD
+	s.Cfg.Rounds = 10
+	s.Cfg.LR = 0.1
+	for _, p := range s.Parties {
+		p.cfg.Mode = FedSGD
+		p.cfg.LR = 0.1
+	}
+	hist, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Rounds) != 10 {
+		t.Fatalf("rounds = %d", len(hist.Rounds))
+	}
+	if hist.Final().TrainLoss >= hist.Rounds[0].TrainLoss {
+		t.Errorf("FedSGD loss did not decrease: %v -> %v",
+			hist.Rounds[0].TrainLoss, hist.Final().TrainLoss)
+	}
+}
+
+func TestCoordinateMedianSession(t *testing.T) {
+	s := tinySession(t, 4, FedAvg, agg.CoordinateMedian{})
+	hist, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.Final().Accuracy == 0 && hist.Final().TestLoss == 0 {
+		t.Error("no evaluation recorded")
+	}
+}
+
+func TestSessionNoParties(t *testing.T) {
+	s := &Session{
+		Cfg:       Config{Mode: FedAvg, Rounds: 1, LocalEpochs: 1, BatchSize: 4, LR: 0.1},
+		Algorithm: agg.IterativeAverage{},
+		Build:     tinyBuild,
+	}
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "no parties") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSessionInvalidConfig(t *testing.T) {
+	s := tinySession(t, 2, FedAvg, agg.IterativeAverage{})
+	s.Cfg.Rounds = 0
+	if _, err := s.Run(); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	test := dataset.Make(tinySpec, 16, []byte("eval"))
+	net := tinyBuild()
+	net.Init([]byte("eval-model"))
+	loss, acc, err := Evaluate(tinyBuild, net.Params(), test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 {
+		t.Errorf("loss = %v", loss)
+	}
+	if acc < 0 || acc > 1 {
+		t.Errorf("acc = %v", acc)
+	}
+	empty := &dataset.Dataset{Spec: tinySpec}
+	if _, _, err := Evaluate(tinyBuild, net.Params(), empty); err == nil {
+		t.Error("empty test set accepted")
+	}
+	if _, _, err := Evaluate(tinyBuild, net.Params()[:5], test); err == nil {
+		t.Error("short params accepted")
+	}
+}
+
+func TestHistoryFinalEmpty(t *testing.T) {
+	h := &History{}
+	if h.Final().Round != 0 {
+		t.Error("empty history Final should be zero value")
+	}
+}
+
+func TestLocalUpdateRejectsBadParams(t *testing.T) {
+	shard := dataset.Make(tinySpec, 8, []byte("x"))
+	cfg := Config{Mode: FedAvg, Rounds: 1, LocalEpochs: 1, BatchSize: 4, LR: 0.1, Seed: []byte("s")}
+	p := NewParty("P1", tinyBuild, shard, cfg)
+	if _, _, err := p.LocalUpdate(nil, 1); err == nil {
+		t.Fatal("nil global params accepted")
+	}
+}
+
+// Weighted FedAvg: a party with more data must pull the average toward
+// its update proportionally.
+func TestWeightedAggregationInSession(t *testing.T) {
+	train, test := dataset.TrainTest(tinySpec, 48, 16, []byte("weighted"))
+	// Unequal shards: P1 gets 32 samples, P2 gets 16.
+	shardBig := &dataset.Dataset{Spec: tinySpec, Samples: train.Samples[:32]}
+	shardSmall := &dataset.Dataset{Spec: tinySpec, Samples: train.Samples[32:]}
+	cfg := Config{Mode: FedAvg, Rounds: 1, LocalEpochs: 1, BatchSize: 8,
+		LR: 0.05, Momentum: 0.9, Seed: []byte("w")}
+	p1 := NewParty("P1", tinyBuild, shardBig, cfg)
+	p2 := NewParty("P2", tinyBuild, shardSmall, cfg)
+	s := &Session{
+		Cfg: cfg, Algorithm: agg.IterativeAverage{}, Build: tinyBuild,
+		Parties: []*Party{p1, p2}, Test: test, InitSeed: []byte("w-init"),
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Verify the fused model is the 2:1 weighted mean of the two updates.
+	init := tinyBuild()
+	init.Init([]byte("w-init"))
+	g := init.Params()
+	u1, _, err := NewParty("P1", tinyBuild, shardBig, cfg).LocalUpdate(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, _, err := NewParty("P2", tinyBuild, shardSmall, cfg).LocalUpdate(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := agg.IterativeAverage{}.Aggregate([]tensor.Vector{u1, u2}, []float64{32, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unweighted, err := agg.IterativeAverage{}.Aggregate([]tensor.Vector{u1, u2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The weighted result must differ from the unweighted one (2:1 pull).
+	same := true
+	for i := range want {
+		if want[i] != unweighted[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("weighted and unweighted aggregation coincide; weights ignored?")
+	}
+}
+
+// Determinism: two identical sessions must produce identical histories
+// (training is fully seeded).
+func TestSessionDeterminism(t *testing.T) {
+	h1, err := tinySession(t, 2, FedAvg, agg.IterativeAverage{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := tinySession(t, 2, FedAvg, agg.IterativeAverage{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range h1.Rounds {
+		a, b := h1.Rounds[i], h2.Rounds[i]
+		if a.TrainLoss != b.TrainLoss || a.TestLoss != b.TestLoss || a.Accuracy != b.Accuracy {
+			t.Fatalf("round %d metrics differ: %+v vs %+v", i+1, a, b)
+		}
+	}
+}

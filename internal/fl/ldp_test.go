@@ -1,0 +1,188 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"deta/internal/agg"
+	"deta/internal/dataset"
+	"deta/internal/tensor"
+)
+
+func validLDP() LDPConfig {
+	return LDPConfig{Epsilon: 2, Delta: 1e-5, ClipNorm: 1, Seed: []byte("ldp")}
+}
+
+func TestLDPValidate(t *testing.T) {
+	bad := []LDPConfig{
+		{Epsilon: 0, Delta: 1e-5, ClipNorm: 1},
+		{Epsilon: 1, Delta: 0, ClipNorm: 1},
+		{Epsilon: 1, Delta: 1, ClipNorm: 1},
+		{Epsilon: 1, Delta: 1e-5, ClipNorm: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+	if err := validLDP().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestLDPNoiseSigma(t *testing.T) {
+	c := validLDP()
+	want := c.ClipNorm * math.Sqrt(2*math.Log(1.25/c.Delta)) / c.Epsilon
+	if got := c.NoiseSigma(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sigma = %v, want %v", got, want)
+	}
+	// Larger epsilon => less noise.
+	loose := c
+	loose.Epsilon = 10
+	if loose.NoiseSigma() >= c.NoiseSigma() {
+		t.Fatal("sigma not decreasing in epsilon")
+	}
+}
+
+func TestLDPClipping(t *testing.T) {
+	c := validLDP()
+	c.Epsilon = 1e9 // essentially no noise: isolate the clipping behaviour
+	big := tensor.Vector{10, 0, 0}
+	out, err := c.Perturb(big, "P1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tensor.Norm(out); math.Abs(n-1) > 0.01 {
+		t.Fatalf("clipped norm %v, want ~1", n)
+	}
+	// Inside the clip ball the update passes through (up to tiny noise).
+	small := tensor.Vector{0.1, 0.1, 0}
+	out, err = c.Perturb(small, "P1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-0.1) > 0.01 {
+		t.Fatalf("unclipped value distorted: %v", out)
+	}
+	// Input must not be mutated.
+	if big[0] != 10 {
+		t.Fatal("Perturb mutated its input")
+	}
+}
+
+func TestLDPNoiseStatistics(t *testing.T) {
+	c := validLDP()
+	n := 20000
+	zero := make(tensor.Vector, n)
+	out, err := c.Perturb(zero, "P1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := tensor.Mean(out)
+	std := math.Sqrt(tensor.Variance(out))
+	sigma := c.NoiseSigma()
+	if math.Abs(mean) > 0.05*sigma {
+		t.Errorf("noise mean %v, want ~0 (sigma %v)", mean, sigma)
+	}
+	if math.Abs(std-sigma)/sigma > 0.05 {
+		t.Errorf("noise std %v, want ~%v", std, sigma)
+	}
+}
+
+func TestLDPIndependentAcrossPartiesAndRounds(t *testing.T) {
+	c := validLDP()
+	zero := make(tensor.Vector, 32)
+	a, _ := c.Perturb(zero, "P1", 1)
+	b, _ := c.Perturb(zero, "P2", 1)
+	r2, _ := c.Perturb(zero, "P1", 2)
+	same := func(x, y tensor.Vector) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(a, b) {
+		t.Fatal("two parties drew identical noise")
+	}
+	if same(a, r2) {
+		t.Fatal("two rounds drew identical noise")
+	}
+	aAgain, _ := c.Perturb(zero, "P1", 1)
+	if !same(a, aAgain) {
+		t.Fatal("noise not deterministic for fixed (party, round, seed)")
+	}
+}
+
+// LDP composes with FL training: the session still converges (noise is
+// bounded) and updates leaving the party are perturbed.
+func TestLDPSessionRuns(t *testing.T) {
+	s := tinySession(t, 2, FedAvg, agg.IterativeAverage{})
+	// A very loose budget: per-coordinate noise small relative to typical
+	// deltas, so training stays healthy while the mechanism runs.
+	ldp := LDPConfig{Epsilon: 1e4, Delta: 1e-5, ClipNorm: 10, Seed: []byte("ldp-sess")}
+	s.Cfg.LDP = &ldp
+	for _, p := range s.Parties {
+		p.cfg.LDP = &ldp
+	}
+	hist, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Rounds) != s.Cfg.Rounds {
+		t.Fatalf("rounds = %d", len(hist.Rounds))
+	}
+	final := hist.Final().TrainLoss
+	if math.IsNaN(final) || math.IsInf(final, 0) {
+		t.Fatalf("training produced non-finite loss under LDP: %v", final)
+	}
+	if final >= hist.Rounds[0].TrainLoss {
+		t.Errorf("training made no progress under loose LDP: %v -> %v",
+			hist.Rounds[0].TrainLoss, final)
+	}
+}
+
+func TestLDPPerturbsUploadedUpdate(t *testing.T) {
+	shard := dataset.Make(tinySpec, 8, []byte("ldp-shard"))
+	cfgPlain := Config{Mode: FedAvg, Rounds: 1, LocalEpochs: 1, BatchSize: 4, LR: 0.05, Seed: []byte("s")}
+	cfgLDP := cfgPlain
+	ldp := validLDP()
+	cfgLDP.LDP = &ldp
+
+	global := tinyBuild()
+	global.Init([]byte("ldp-global"))
+	g := global.Params()
+
+	plain := NewParty("P1", tinyBuild, shard, cfgPlain)
+	noisy := NewParty("P1", tinyBuild, shard, cfgLDP)
+	u1, _, err := plain.LocalUpdate(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, _, err := noisy.LocalUpdate(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range u1 {
+		if u1[i] != u2[i] {
+			diff++
+		}
+	}
+	if diff < len(u1)/2 {
+		t.Fatalf("LDP left %d/%d coordinates unperturbed", len(u1)-diff, len(u1))
+	}
+}
+
+func TestLDPInvalidConfigSurfacesFromLocalUpdate(t *testing.T) {
+	shard := dataset.Make(tinySpec, 8, []byte("ldp-shard"))
+	cfg := Config{Mode: FedAvg, Rounds: 1, LocalEpochs: 1, BatchSize: 4, LR: 0.05, Seed: []byte("s")}
+	cfg.LDP = &LDPConfig{} // invalid
+	p := NewParty("P1", tinyBuild, shard, cfg)
+	global := tinyBuild()
+	global.Init([]byte("x"))
+	if _, _, err := p.LocalUpdate(global.Params(), 1); err == nil {
+		t.Fatal("invalid LDP config accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package fl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"deta/internal/dataset"
+	"deta/internal/nn"
+	"deta/internal/tensor"
+)
+
+// ConfusionMatrix counts predictions per (true class, predicted class) —
+// useful for the non-IID experiments, where skewed shards show up as
+// class-level accuracy imbalance long before aggregate accuracy moves.
+type ConfusionMatrix struct {
+	Classes int
+	Counts  [][]int // [true][predicted]
+}
+
+// EvaluateConfusion runs the model over a test set and returns the
+// confusion matrix.
+func EvaluateConfusion(build func() *nn.Network, params tensor.Vector, test *dataset.Dataset) (*ConfusionMatrix, error) {
+	if test.Len() == 0 {
+		return nil, errors.New("fl: empty test set")
+	}
+	net := build()
+	if err := net.SetParams(params); err != nil {
+		return nil, err
+	}
+	classes := test.Spec.Classes
+	cm := &ConfusionMatrix{Classes: classes, Counts: make([][]int, classes)}
+	for i := range cm.Counts {
+		cm.Counts[i] = make([]int, classes)
+	}
+	for i := 0; i < test.Len(); i++ {
+		s := test.At(i)
+		pred := net.Predict(s.X)
+		if s.Label < 0 || s.Label >= classes || pred < 0 || pred >= classes {
+			return nil, fmt.Errorf("fl: label %d or prediction %d out of range", s.Label, pred)
+		}
+		cm.Counts[s.Label][pred]++
+	}
+	return cm, nil
+}
+
+// Accuracy returns the overall fraction of correct predictions.
+func (cm *ConfusionMatrix) Accuracy() float64 {
+	correct, total := 0, 0
+	for c := range cm.Counts {
+		for p, n := range cm.Counts[c] {
+			total += n
+			if p == c {
+				correct += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// PerClassRecall returns recall (correct / support) per class; classes
+// with no test samples report -1.
+func (cm *ConfusionMatrix) PerClassRecall() []float64 {
+	out := make([]float64, cm.Classes)
+	for c := range cm.Counts {
+		support := 0
+		for _, n := range cm.Counts[c] {
+			support += n
+		}
+		if support == 0 {
+			out[c] = -1
+			continue
+		}
+		out[c] = float64(cm.Counts[c][c]) / float64(support)
+	}
+	return out
+}
+
+// Render writes the matrix as aligned text with per-class recall.
+func (cm *ConfusionMatrix) Render(w io.Writer) {
+	fmt.Fprint(w, "true\\pred")
+	for p := 0; p < cm.Classes; p++ {
+		fmt.Fprintf(w, " %4d", p)
+	}
+	fmt.Fprintln(w, "  recall")
+	recall := cm.PerClassRecall()
+	for c := 0; c < cm.Classes; c++ {
+		fmt.Fprintf(w, "%9d", c)
+		for p := 0; p < cm.Classes; p++ {
+			fmt.Fprintf(w, " %4d", cm.Counts[c][p])
+		}
+		if recall[c] < 0 {
+			fmt.Fprintln(w, "     n/a")
+		} else {
+			fmt.Fprintf(w, "  %6.2f\n", recall[c])
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package fl
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"deta/internal/dataset"
+)
+
+func TestEvaluateConfusion(t *testing.T) {
+	test := dataset.Make(tinySpec, 16, []byte("cm"))
+	net := tinyBuild()
+	net.Init([]byte("cm-model"))
+	cm, err := EvaluateConfusion(tinyBuild, net.Params(), test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Classes != tinySpec.Classes {
+		t.Fatalf("classes = %d", cm.Classes)
+	}
+	// Every test sample lands in exactly one cell.
+	total := 0
+	for _, row := range cm.Counts {
+		for _, n := range row {
+			total += n
+		}
+	}
+	if total != 16 {
+		t.Fatalf("matrix sums to %d, want 16", total)
+	}
+	// Accuracy must agree with Evaluate.
+	_, acc, err := Evaluate(tinyBuild, net.Params(), test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cm.Accuracy()-acc) > 1e-12 {
+		t.Fatalf("confusion accuracy %v, Evaluate %v", cm.Accuracy(), acc)
+	}
+}
+
+func TestConfusionEmptyTestSet(t *testing.T) {
+	net := tinyBuild()
+	net.Init([]byte("x"))
+	empty := &dataset.Dataset{Spec: tinySpec}
+	if _, err := EvaluateConfusion(tinyBuild, net.Params(), empty); err == nil {
+		t.Fatal("empty test set accepted")
+	}
+}
+
+func TestPerClassRecallAndRender(t *testing.T) {
+	cm := &ConfusionMatrix{
+		Classes: 3,
+		Counts: [][]int{
+			{2, 0, 0}, // class 0: perfect
+			{1, 1, 0}, // class 1: half
+			{0, 0, 0}, // class 2: no support
+		},
+	}
+	r := cm.PerClassRecall()
+	if r[0] != 1 || r[1] != 0.5 || r[2] != -1 {
+		t.Fatalf("recall = %v", r)
+	}
+	if math.Abs(cm.Accuracy()-0.75) > 1e-12 {
+		t.Fatalf("accuracy = %v", cm.Accuracy())
+	}
+	var buf bytes.Buffer
+	cm.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"true\\pred", "recall", "n/a", "1.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAccuracyEmptyMatrix(t *testing.T) {
+	cm := &ConfusionMatrix{Classes: 2, Counts: [][]int{{0, 0}, {0, 0}}}
+	if cm.Accuracy() != 0 {
+		t.Fatal("empty matrix accuracy should be 0")
+	}
+}

@@ -1,0 +1,73 @@
+package nn
+
+import "deta/internal/tensor"
+
+// Dense is a fully connected layer: out = W*x + b with W stored row-major
+// as [out][in].
+type Dense struct {
+	name    string
+	in, out int
+
+	w, b   []float64
+	gw, gb []float64
+
+	lastIn []float64
+}
+
+// NewDense returns an uninitialized fully connected layer mapping in
+// features to out features. Weights are zero until initialized by a Network.
+func NewDense(name string, in, out int) *Dense {
+	return &Dense{
+		name: name, in: in, out: out,
+		w: make([]float64, in*out), b: make([]float64, out),
+		gw: make([]float64, in*out), gb: make([]float64, out),
+	}
+}
+
+func (d *Dense) Name() string { return d.name }
+func (d *Dense) InDim() int   { return d.in }
+func (d *Dense) OutDim() int  { return d.out }
+
+func (d *Dense) Forward(x []float64, _ bool) []float64 {
+	checkDim(d.name, len(x), d.in)
+	d.lastIn = x
+	out := make([]float64, d.out)
+	for o := 0; o < d.out; o++ {
+		row := d.w[o*d.in : (o+1)*d.in]
+		s := d.b[o]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		out[o] = s
+	}
+	return out
+}
+
+func (d *Dense) Backward(grad []float64) []float64 {
+	checkDim(d.name+" backward", len(grad), d.out)
+	in := make([]float64, d.in)
+	for o := 0; o < d.out; o++ {
+		g := grad[o]
+		if g == 0 {
+			continue
+		}
+		row := d.w[o*d.in : (o+1)*d.in]
+		grow := d.gw[o*d.in : (o+1)*d.in]
+		d.gb[o] += g
+		for i, xi := range d.lastIn {
+			grow[i] += g * xi
+			in[i] += g * row[i]
+		}
+	}
+	return in
+}
+
+func (d *Dense) Params() [][]float64 { return [][]float64{d.w, d.b} }
+func (d *Dense) Grads() [][]float64  { return [][]float64{d.gw, d.gb} }
+
+func (d *Dense) Shapes() []tensor.Shape {
+	return []tensor.Shape{
+		{Name: d.name + ".w", Dims: []int{d.out, d.in}},
+		{Name: d.name + ".b", Dims: []int{d.out}},
+	}
+}

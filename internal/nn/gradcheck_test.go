@@ -1,0 +1,216 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"deta/internal/rng"
+	"deta/internal/tensor"
+)
+
+// numericalInputGrad estimates dLoss/dInput by central differences.
+func numericalInputGrad(n *Network, x []float64, label int, eps float64) []float64 {
+	grad := make([]float64, len(x))
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		lp, _, _ := CrossEntropy(n.Forward(x, true), label)
+		x[i] = orig - eps
+		lm, _, _ := CrossEntropy(n.Forward(x, true), label)
+		x[i] = orig
+		grad[i] = (lp - lm) / (2 * eps)
+	}
+	return grad
+}
+
+// numericalParamGrad estimates dLoss/dParams by central differences.
+func numericalParamGrad(n *Network, x []float64, label int, eps float64) tensor.Vector {
+	params := n.Params()
+	grad := make(tensor.Vector, len(params))
+	for i := range params {
+		orig := params[i]
+		params[i] = orig + eps
+		_ = n.SetParams(params)
+		lp, _, _ := CrossEntropy(n.Forward(x, true), label)
+		params[i] = orig - eps
+		_ = n.SetParams(params)
+		lm, _, _ := CrossEntropy(n.Forward(x, true), label)
+		params[i] = orig
+		grad[i] = (lp - lm) / (2 * eps)
+	}
+	_ = n.SetParams(params)
+	return grad
+}
+
+// analyticGrads runs one forward/backward pass and returns (inputGrad,
+// paramGrad).
+func analyticGrads(n *Network, x []float64, label int) ([]float64, tensor.Vector) {
+	n.ZeroGrads()
+	out := n.Forward(x, true)
+	_, g, err := CrossEntropy(out, label)
+	if err != nil {
+		panic(err)
+	}
+	inGrad := n.Backward(g)
+	return inGrad, n.Grads()
+}
+
+func maxRelErr(a, b []float64) float64 {
+	worst := 0.0
+	for i := range a {
+		scale := math.Abs(a[i]) + math.Abs(b[i]) + 1e-4
+		if e := math.Abs(a[i]-b[i]) / scale; e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+func randInput(n int, seed string) []float64 {
+	s := rng.NewStream([]byte(seed), "gradcheck-input")
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = s.NormFloat64() * 0.5
+	}
+	return x
+}
+
+func checkNetworkGradients(t *testing.T, net *Network, label int) {
+	t.Helper()
+	net.Init([]byte("gradcheck-seed"))
+	x := randInput(net.InDim(), net.Name)
+	anIn, anParam := analyticGrads(net, x, label)
+
+	numIn := numericalInputGrad(net, x, label, 1e-5)
+	if e := maxRelErr(anIn, numIn); e > 1e-3 {
+		t.Errorf("%s: input gradient max rel err %v", net.Name, e)
+	}
+	numParam := numericalParamGrad(net, x, label, 1e-5)
+	if e := maxRelErr(anParam, numParam); e > 1e-3 {
+		t.Errorf("%s: param gradient max rel err %v", net.Name, e)
+	}
+}
+
+func TestGradCheckDense(t *testing.T) {
+	checkNetworkGradients(t, MLP("mlp", 6, 5, 4), 2)
+}
+
+func TestGradCheckConvSigmoid(t *testing.T) {
+	c := NewConv2D("c", 2, 5, 5, 3, 3, 1, 1)
+	net := MustNetwork("conv-sig",
+		c, NewSigmoid("s", c.OutDim()),
+		NewDense("fc", c.OutDim(), 4))
+	checkNetworkGradients(t, net, 1)
+}
+
+func TestGradCheckConvStride(t *testing.T) {
+	c := NewConv2D("c", 1, 6, 6, 2, 3, 2, 1)
+	net := MustNetwork("conv-stride",
+		c, NewTanh("t", c.OutDim()),
+		NewDense("fc", c.OutDim(), 3))
+	checkNetworkGradients(t, net, 0)
+}
+
+func TestGradCheckMaxPool(t *testing.T) {
+	c := NewConv2D("c", 1, 6, 6, 2, 3, 1, 1)
+	p := NewMaxPool2D("p", 2, 6, 6, 2, 2)
+	net := MustNetwork("conv-pool",
+		c, NewSigmoid("s", c.OutDim()), p,
+		NewDense("fc", p.OutDim(), 3))
+	checkNetworkGradients(t, net, 2)
+}
+
+func TestGradCheckChannelNorm(t *testing.T) {
+	c := NewConv2D("c", 1, 5, 5, 3, 3, 1, 1)
+	n := NewChannelNorm("n", 3, 5, 5)
+	net := MustNetwork("conv-norm",
+		c, n, NewTanh("t", n.OutDim()),
+		NewDense("fc", n.OutDim(), 3))
+	checkNetworkGradients(t, net, 1)
+}
+
+func TestGradCheckGlobalAvgPool(t *testing.T) {
+	c := NewConv2D("c", 1, 4, 4, 3, 3, 1, 1)
+	g := NewGlobalAvgPool("g", 3, 4, 4)
+	net := MustNetwork("conv-gap",
+		c, NewSigmoid("s", c.OutDim()), g,
+		NewDense("fc", 3, 3))
+	checkNetworkGradients(t, net, 0)
+}
+
+func TestGradCheckResidualIdentity(t *testing.T) {
+	blk := resBlock("rb", 2, 4, 4, 2, 1)
+	net := MustNetwork("res-id",
+		NewConv2D("stem", 1, 4, 4, 2, 3, 1, 1),
+		blk,
+		NewDense("fc", blk.OutDim(), 3))
+	checkNetworkGradients(t, net, 1)
+}
+
+func TestGradCheckResidualProjection(t *testing.T) {
+	blk := resBlock("rb", 2, 6, 6, 4, 2)
+	net := MustNetwork("res-proj",
+		NewConv2D("stem", 1, 6, 6, 2, 3, 1, 1),
+		blk,
+		NewDense("fc", blk.OutDim(), 3))
+	checkNetworkGradients(t, net, 2)
+}
+
+func TestGradCheckReLUNetwork(t *testing.T) {
+	// ReLU kinks can break finite differences if an activation sits at 0;
+	// random inputs make that measure-zero. Use a conv+relu+fc net.
+	c := NewConv2D("c", 1, 5, 5, 2, 3, 1, 1)
+	net := MustNetwork("conv-relu",
+		c, NewReLU("r", c.OutDim()),
+		NewDense("fc", c.OutDim(), 3))
+	checkNetworkGradients(t, net, 1)
+}
+
+func TestGradCheckSoftTargets(t *testing.T) {
+	net := MLP("soft", 5, 6, 4)
+	net.Init([]byte("seed-soft"))
+	x := randInput(5, "soft")
+	target := []float64{0.1, 0.2, 0.3, 0.4}
+
+	net.ZeroGrads()
+	out := net.Forward(x, true)
+	_, gLogits, gTarget, err := SoftCrossEntropy(out, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = net.Backward(gLogits)
+	anParam := net.Grads()
+
+	// Numerical check on params.
+	params := net.Params()
+	eps := 1e-5
+	for _, i := range []int{0, 3, len(params) / 2, len(params) - 1} {
+		orig := params[i]
+		params[i] = orig + eps
+		_ = net.SetParams(params)
+		lp, _, _, _ := SoftCrossEntropy(net.Forward(x, true), target)
+		params[i] = orig - eps
+		_ = net.SetParams(params)
+		lm, _, _, _ := SoftCrossEntropy(net.Forward(x, true), target)
+		params[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-anParam[i]) > 1e-4*(1+math.Abs(num)) {
+			t.Errorf("soft-target param grad %d: analytic %v numerical %v", i, anParam[i], num)
+		}
+	}
+	_ = net.SetParams(params)
+
+	// Numerical check on the target gradient.
+	for j := range target {
+		orig := target[j]
+		target[j] = orig + eps
+		lp, _, _, _ := SoftCrossEntropy(net.Forward(x, true), target)
+		target[j] = orig - eps
+		lm, _, _, _ := SoftCrossEntropy(net.Forward(x, true), target)
+		target[j] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-gTarget[j]) > 1e-5*(1+math.Abs(num)) {
+			t.Errorf("target grad %d: analytic %v numerical %v", j, gTarget[j], num)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package nn is a from-scratch neural-network library sufficient to
+// reproduce DeTA's experiments: sequential and residual convolutional
+// networks with full backpropagation to both parameters and inputs.
+//
+// Model updates in DeTA are exchanged as flattened parameter vectors, so the
+// package exposes Params/SetParams/Grads as flat tensor.Vectors alongside a
+// tensor.Layout describing the block structure (the "model architecture"
+// information that DeTA's aggregators never see).
+//
+// Input gradients matter because the data-reconstruction attacks (DLG, iDLG,
+// IG — paper §6) optimize a dummy input by gradient descent; see
+// internal/attack for how second-order terms are obtained.
+//
+// Networks are NOT safe for concurrent use: layers cache forward
+// activations for the subsequent backward pass. Use one Network per
+// goroutine (Clone is cheap at the scales used here).
+package nn
+
+import (
+	"fmt"
+
+	"deta/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network. Forward must be called
+// before Backward; Backward consumes the gradient of the loss with respect
+// to the layer's output and returns the gradient with respect to its input,
+// accumulating parameter gradients internally.
+type Layer interface {
+	// Name identifies the layer for layouts and debugging.
+	Name() string
+	// InDim and OutDim are the flat input/output vector lengths.
+	InDim() int
+	OutDim() int
+	// Forward computes the layer output for a single flattened sample.
+	Forward(x []float64, train bool) []float64
+	// Backward propagates grad (dLoss/dOut) to dLoss/dIn and accumulates
+	// parameter gradients.
+	Backward(grad []float64) []float64
+	// Params returns the layer's parameter blocks (aliasing internal
+	// storage) and Grads the matching accumulated gradient blocks. Both
+	// are nil for stateless layers.
+	Params() [][]float64
+	Grads() [][]float64
+	// Shapes describes the parameter blocks, in the same order as Params.
+	Shapes() []tensor.Shape
+}
+
+// ReLU is the rectified-linear activation.
+type ReLU struct {
+	name string
+	dim  int
+	mask []bool
+}
+
+// NewReLU returns a ReLU over vectors of length dim.
+func NewReLU(name string, dim int) *ReLU {
+	return &ReLU{name: name, dim: dim, mask: make([]bool, dim)}
+}
+
+func (r *ReLU) Name() string { return r.name }
+func (r *ReLU) InDim() int   { return r.dim }
+func (r *ReLU) OutDim() int  { return r.dim }
+
+func (r *ReLU) Forward(x []float64, _ bool) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+func (r *ReLU) Backward(grad []float64) []float64 {
+	out := make([]float64, len(grad))
+	for i, g := range grad {
+		if r.mask[i] {
+			out[i] = g
+		}
+	}
+	return out
+}
+
+func (r *ReLU) Params() [][]float64    { return nil }
+func (r *ReLU) Grads() [][]float64     { return nil }
+func (r *ReLU) Shapes() []tensor.Shape { return nil }
+
+// Sigmoid is the logistic activation, used by the DLG LeNet variant
+// (the attack requires twice-differentiable activations; sigmoid is the
+// activation the DLG paper uses for exactly that reason).
+type Sigmoid struct {
+	name string
+	dim  int
+	out  []float64
+}
+
+// NewSigmoid returns a Sigmoid over vectors of length dim.
+func NewSigmoid(name string, dim int) *Sigmoid {
+	return &Sigmoid{name: name, dim: dim}
+}
+
+func (s *Sigmoid) Name() string { return s.name }
+func (s *Sigmoid) InDim() int   { return s.dim }
+func (s *Sigmoid) OutDim() int  { return s.dim }
+
+func (s *Sigmoid) Forward(x []float64, _ bool) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = 1 / (1 + exp(-v))
+	}
+	s.out = out
+	return out
+}
+
+func (s *Sigmoid) Backward(grad []float64) []float64 {
+	out := make([]float64, len(grad))
+	for i, g := range grad {
+		y := s.out[i]
+		out[i] = g * y * (1 - y)
+	}
+	return out
+}
+
+func (s *Sigmoid) Params() [][]float64    { return nil }
+func (s *Sigmoid) Grads() [][]float64     { return nil }
+func (s *Sigmoid) Shapes() []tensor.Shape { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	name string
+	dim  int
+	out  []float64
+}
+
+// NewTanh returns a Tanh over vectors of length dim.
+func NewTanh(name string, dim int) *Tanh { return &Tanh{name: name, dim: dim} }
+
+func (t *Tanh) Name() string { return t.name }
+func (t *Tanh) InDim() int   { return t.dim }
+func (t *Tanh) OutDim() int  { return t.dim }
+
+func (t *Tanh) Forward(x []float64, _ bool) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = tanh(v)
+	}
+	t.out = out
+	return out
+}
+
+func (t *Tanh) Backward(grad []float64) []float64 {
+	out := make([]float64, len(grad))
+	for i, g := range grad {
+		y := t.out[i]
+		out[i] = g * (1 - y*y)
+	}
+	return out
+}
+
+func (t *Tanh) Params() [][]float64    { return nil }
+func (t *Tanh) Grads() [][]float64     { return nil }
+func (t *Tanh) Shapes() []tensor.Shape { return nil }
+
+func checkDim(layer string, got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("nn: %s: input length %d, want %d", layer, got, want))
+	}
+}

@@ -1,0 +1,249 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReLUForwardBackward(t *testing.T) {
+	r := NewReLU("r", 4)
+	out := r.Forward([]float64{-1, 0, 2, -3}, true)
+	want := []float64{0, 0, 2, 0}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("forward = %v", out)
+		}
+	}
+	grad := r.Backward([]float64{1, 1, 1, 1})
+	wantG := []float64{0, 0, 1, 0}
+	for i := range wantG {
+		if grad[i] != wantG[i] {
+			t.Fatalf("backward = %v", grad)
+		}
+	}
+}
+
+func TestSigmoidRange(t *testing.T) {
+	s := NewSigmoid("s", 3)
+	out := s.Forward([]float64{-100, 0, 100}, true)
+	if out[0] > 1e-10 || math.Abs(out[1]-0.5) > 1e-12 || out[2] < 1-1e-10 {
+		t.Fatalf("sigmoid = %v", out)
+	}
+}
+
+func TestTanhOddness(t *testing.T) {
+	tn := NewTanh("t", 2)
+	out := tn.Forward([]float64{1.3, -1.3}, true)
+	if math.Abs(out[0]+out[1]) > 1e-12 {
+		t.Fatalf("tanh not odd: %v", out)
+	}
+}
+
+func TestConvKnownValues(t *testing.T) {
+	// 1x3x3 input, single 3x3 kernel of ones, no padding => output is the
+	// sum of the input.
+	c := NewConv2D("c", 1, 3, 3, 1, 3, 1, 0)
+	w := c.Params()[0]
+	for i := range w {
+		w[i] = 1
+	}
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	out := c.Forward(x, true)
+	if len(out) != 1 || out[0] != 45 {
+		t.Fatalf("conv sum = %v", out)
+	}
+	// Bias adds.
+	c.Params()[1][0] = 0.5
+	if got := c.Forward(x, true)[0]; got != 45.5 {
+		t.Fatalf("conv+bias = %v", got)
+	}
+}
+
+func TestConvPadding(t *testing.T) {
+	c := NewConv2D("c", 1, 2, 2, 1, 3, 1, 1)
+	_, h, w := c.OutDims()
+	if h != 2 || w != 2 {
+		t.Fatalf("padded out dims %dx%d", h, w)
+	}
+}
+
+func TestConvPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for non-positive output dims")
+		}
+	}()
+	NewConv2D("bad", 1, 2, 2, 1, 5, 1, 0)
+}
+
+func TestMaxPoolArgmaxRouting(t *testing.T) {
+	p := NewMaxPool2D("p", 1, 2, 2, 2, 2)
+	out := p.Forward([]float64{1, 9, 3, 4}, true)
+	if out[0] != 9 {
+		t.Fatalf("max = %v", out)
+	}
+	grad := p.Backward([]float64{5})
+	want := []float64{0, 5, 0, 0}
+	for i := range want {
+		if grad[i] != want[i] {
+			t.Fatalf("pool backward = %v", grad)
+		}
+	}
+}
+
+func TestMaxPoolPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewMaxPool2D("bad", 1, 1, 1, 2, 2)
+}
+
+func TestGlobalAvgPoolValues(t *testing.T) {
+	g := NewGlobalAvgPool("g", 2, 2, 2)
+	x := []float64{1, 2, 3, 4, 10, 20, 30, 40}
+	out := g.Forward(x, true)
+	if out[0] != 2.5 || out[1] != 25 {
+		t.Fatalf("gap = %v", out)
+	}
+	grad := g.Backward([]float64{4, 8})
+	if grad[0] != 1 || grad[4] != 2 {
+		t.Fatalf("gap backward = %v", grad)
+	}
+}
+
+func TestChannelNormStatistics(t *testing.T) {
+	n := NewChannelNorm("n", 1, 2, 2)
+	out := n.Forward([]float64{1, 2, 3, 4}, true)
+	var mean, variance float64
+	for _, v := range out {
+		mean += v
+	}
+	mean /= 4
+	for _, v := range out {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= 4
+	if math.Abs(mean) > 1e-9 {
+		t.Fatalf("normalized mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 1e-3 {
+		t.Fatalf("normalized variance = %v", variance)
+	}
+	// Learnable affine applies.
+	n.Params()[0][0] = 2   // gamma
+	n.Params()[1][0] = 0.5 // beta
+	out = n.Forward([]float64{1, 2, 3, 4}, true)
+	var mean2 float64
+	for _, v := range out {
+		mean2 += v
+	}
+	if math.Abs(mean2/4-0.5) > 1e-9 {
+		t.Fatalf("affine mean = %v", mean2/4)
+	}
+}
+
+func TestResidualPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewResidual("empty", nil, nil) },
+		func() {
+			// Identity skip with mismatched dims.
+			NewResidual("mismatch", []Layer{NewDense("d", 4, 6)}, nil)
+		},
+		func() {
+			// Projection with wrong dims.
+			NewResidual("badproj", []Layer{NewDense("d", 4, 6)}, NewDense("p", 4, 5))
+		},
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: want panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestZooPanics(t *testing.T) {
+	cases := []func(){
+		func() { LeNetDLG(1, 10, 10, 4) },  // not divisible by 4
+		func() { ConvNet23(1, 12, 12, 4) }, // not divisible by 8
+		func() { VGG16Lite(1, 16, 16, 4) }, // not divisible by 32
+		func() { MLP("bad", 5) },           // too few dims
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: want panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCheckDimPanics(t *testing.T) {
+	d := NewDense("d", 3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on wrong input length")
+		}
+	}()
+	d.Forward([]float64{1, 2}, true)
+}
+
+// --- micro-benchmarks -----------------------------------------------
+
+func BenchmarkConvNet8Forward(b *testing.B) {
+	net := ConvNet8(1, 28, 28, 10)
+	net.Init([]byte("bench"))
+	x := randInput(net.InDim(), "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+	}
+}
+
+func BenchmarkConvNet8ForwardBackward(b *testing.B) {
+	net := ConvNet8(1, 28, 28, 10)
+	net.Init([]byte("bench"))
+	x := randInput(net.InDim(), "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrads()
+		out := net.Forward(x, true)
+		_, g, _ := CrossEntropy(out, 3)
+		net.Backward(g)
+	}
+}
+
+func BenchmarkResNet18LiteForward(b *testing.B) {
+	net := ResNet18Lite(3, 16, 16, 100, [4]int{4, 8, 16, 32})
+	net.Init([]byte("bench"))
+	x := randInput(net.InDim(), "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+	}
+}
+
+func BenchmarkParamsRoundTrip(b *testing.B) {
+	net := ConvNet23(3, 16, 16, 10)
+	net.Init([]byte("bench"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := net.Params()
+		if err := net.SetParams(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

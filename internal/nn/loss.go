@@ -1,0 +1,82 @@
+package nn
+
+import "fmt"
+
+// Softmax returns the softmax of logits, computed stably.
+func Softmax(logits []float64) []float64 {
+	m := logits[0]
+	for _, v := range logits[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := exp(v - m)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// CrossEntropy computes softmax cross-entropy against a hard label and the
+// gradient with respect to the logits.
+func CrossEntropy(logits []float64, label int) (loss float64, grad []float64, err error) {
+	if label < 0 || label >= len(logits) {
+		return 0, nil, fmt.Errorf("nn: label %d out of range [0,%d)", label, len(logits))
+	}
+	p := Softmax(logits)
+	const tiny = 1e-12
+	loss = -log(p[label] + tiny)
+	grad = p
+	grad[label] -= 1
+	return loss, grad, nil
+}
+
+// SoftCrossEntropy computes cross-entropy against a soft target
+// distribution (used by the DLG attack, which optimizes a dummy label).
+// It returns the loss, dLoss/dLogits, and dLoss/dTarget — the last term is
+// -log softmax(logits), needed when the attack differentiates with respect
+// to its dummy label variable.
+func SoftCrossEntropy(logits, target []float64) (loss float64, gradLogits, gradTarget []float64, err error) {
+	if len(logits) != len(target) {
+		return 0, nil, nil, fmt.Errorf("nn: logits/target length mismatch: %d vs %d", len(logits), len(target))
+	}
+	p := Softmax(logits)
+	const tiny = 1e-12
+	gradTarget = make([]float64, len(p))
+	var tSum float64
+	for i, t := range target {
+		lp := log(p[i] + tiny)
+		loss -= t * lp
+		gradTarget[i] = -lp
+		tSum += t
+	}
+	// dLoss/dlogit_j = p_j * sum(t) - t_j  (reduces to p - onehot when
+	// target sums to 1).
+	gradLogits = make([]float64, len(p))
+	for j := range p {
+		gradLogits[j] = p[j]*tSum - target[j]
+	}
+	return loss, gradLogits, gradTarget, nil
+}
+
+// MSELoss computes 0.5*||out-target||^2 / n and its gradient with respect
+// to out.
+func MSELoss(out, target []float64) (loss float64, grad []float64, err error) {
+	if len(out) != len(target) {
+		return 0, nil, fmt.Errorf("nn: out/target length mismatch: %d vs %d", len(out), len(target))
+	}
+	grad = make([]float64, len(out))
+	n := float64(len(out))
+	for i := range out {
+		d := out[i] - target[i]
+		loss += 0.5 * d * d / n
+		grad[i] = d / n
+	}
+	return loss, grad, nil
+}

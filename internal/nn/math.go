@@ -1,0 +1,11 @@
+package nn
+
+import "math"
+
+// Thin wrappers keep call sites short and make it easy to swap in faster
+// approximations if profiling ever demands it.
+
+func exp(x float64) float64  { return math.Exp(x) }
+func tanh(x float64) float64 { return math.Tanh(x) }
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+func log(x float64) float64  { return math.Log(x) }

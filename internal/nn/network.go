@@ -1,0 +1,210 @@
+package nn
+
+import (
+	"fmt"
+
+	"deta/internal/rng"
+	"deta/internal/tensor"
+)
+
+// Network is a sequential stack of layers with flat-vector parameter access,
+// which is the representation DeTA partitions and shuffles.
+type Network struct {
+	// Name labels the architecture (used in experiment reports).
+	Name   string
+	layers []Layer
+
+	// frozen[i] marks layer i's parameters as non-trainable: gradients for
+	// those blocks read as zero. Used for transfer learning (Figure 7,
+	// where only the replaced VGG-16 head trains).
+	frozen []bool
+}
+
+// NewNetwork assembles a network and validates that adjacent layer
+// dimensions agree.
+func NewNetwork(name string, layers ...Layer) (*Network, error) {
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("nn: network %q has no layers", name)
+	}
+	for i := 1; i < len(layers); i++ {
+		if layers[i-1].OutDim() != layers[i].InDim() {
+			return nil, fmt.Errorf("nn: network %q: layer %d (%s) outputs %d but layer %d (%s) expects %d",
+				name, i-1, layers[i-1].Name(), layers[i-1].OutDim(), i, layers[i].Name(), layers[i].InDim())
+		}
+	}
+	return &Network{Name: name, layers: layers, frozen: make([]bool, len(layers))}, nil
+}
+
+// MustNetwork is NewNetwork that panics on error; used by the model zoo
+// where shapes are static.
+func MustNetwork(name string, layers ...Layer) *Network {
+	n, err := NewNetwork(name, layers...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// InDim and OutDim give the network's input and output vector lengths.
+func (n *Network) InDim() int  { return n.layers[0].InDim() }
+func (n *Network) OutDim() int { return n.layers[len(n.layers)-1].OutDim() }
+
+// NumLayers returns the number of top-level layers.
+func (n *Network) NumLayers() int { return len(n.layers) }
+
+// Forward runs one flattened sample through the network and returns the
+// output logits. train selects training-mode behaviour in layers that
+// distinguish it.
+func (n *Network) Forward(x []float64, train bool) []float64 {
+	h := x
+	for _, l := range n.layers {
+		h = l.Forward(h, train)
+	}
+	return h
+}
+
+// Backward propagates dLoss/dLogits through the network, accumulating
+// parameter gradients, and returns dLoss/dInput (needed by the
+// reconstruction attacks).
+func (n *Network) Backward(grad []float64) []float64 {
+	g := grad
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		g = n.layers[i].Backward(g)
+	}
+	return g
+}
+
+// Layout describes the flat parameter vector's block structure.
+func (n *Network) Layout() tensor.Layout {
+	var out tensor.Layout
+	for _, l := range n.layers {
+		out = append(out, l.Shapes()...)
+	}
+	return out
+}
+
+// NumParams returns the total parameter count.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.layers {
+		for _, p := range l.Params() {
+			total += len(p)
+		}
+	}
+	return total
+}
+
+// Params returns a copy of all parameters as one flat vector.
+func (n *Network) Params() tensor.Vector {
+	out := make(tensor.Vector, 0, n.NumParams())
+	for _, l := range n.layers {
+		for _, p := range l.Params() {
+			out = append(out, p...)
+		}
+	}
+	return out
+}
+
+// SetParams overwrites all parameters from a flat vector.
+func (n *Network) SetParams(v tensor.Vector) error {
+	if len(v) != n.NumParams() {
+		return fmt.Errorf("nn: SetParams: got %d values, want %d", len(v), n.NumParams())
+	}
+	at := 0
+	for _, l := range n.layers {
+		for _, p := range l.Params() {
+			copy(p, v[at:at+len(p)])
+			at += len(p)
+		}
+	}
+	return nil
+}
+
+// Grads returns a copy of the accumulated gradients as one flat vector,
+// with frozen layers reading as zero.
+func (n *Network) Grads() tensor.Vector {
+	out := make(tensor.Vector, 0, n.NumParams())
+	for i, l := range n.layers {
+		for _, g := range l.Grads() {
+			if n.frozen[i] {
+				out = append(out, make([]float64, len(g))...)
+			} else {
+				out = append(out, g...)
+			}
+		}
+	}
+	return out
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.layers {
+		for _, g := range l.Grads() {
+			for i := range g {
+				g[i] = 0
+			}
+		}
+	}
+}
+
+// FreezePrefix marks the first k top-level layers as non-trainable.
+func (n *Network) FreezePrefix(k int) {
+	for i := range n.frozen {
+		n.frozen[i] = i < k
+	}
+}
+
+// Init initializes all weights deterministically from seed using He-style
+// fan-in scaling for weight matrices/kernels and zeros for biases.
+// ChannelNorm gains stay 1 and shifts 0.
+func (n *Network) Init(seed []byte) {
+	s := rng.NewStream(seed, "nn-init/"+n.Name)
+	for _, l := range n.layers {
+		shapes := l.Shapes()
+		params := l.Params()
+		for bi, p := range params {
+			sh := shapes[bi]
+			switch {
+			case len(sh.Dims) >= 2: // weight matrix or kernel
+				fanIn := 1
+				for _, d := range sh.Dims[1:] {
+					fanIn *= d
+				}
+				std := sqrt(2 / float64(fanIn))
+				for i := range p {
+					p[i] = s.NormFloat64() * std
+				}
+			default:
+				// Bias-like blocks: leave at current value (zeros for
+				// Dense/Conv biases, ones for norm gains set at
+				// construction).
+			}
+		}
+	}
+}
+
+// Clone builds an independent network with the same architecture and
+// parameter values. The architecture is rebuilt via the provided
+// constructor; prefer zoo-level Clone helpers.
+func Clone(build func() *Network, src *Network) *Network {
+	dst := build()
+	if err := dst.SetParams(src.Params()); err != nil {
+		panic(err)
+	}
+	return dst
+}
+
+// Predict returns the argmax class for input x.
+func (n *Network) Predict(x []float64) int {
+	return argmax(n.Forward(x, false))
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}

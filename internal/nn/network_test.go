@@ -1,0 +1,316 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deta/internal/rng"
+)
+
+func TestNewNetworkDimValidation(t *testing.T) {
+	_, err := NewNetwork("bad", NewDense("a", 4, 5), NewDense("b", 6, 2))
+	if err == nil {
+		t.Fatal("want dimension-mismatch error")
+	}
+	if _, err := NewNetwork("empty"); err == nil {
+		t.Fatal("want error for empty network")
+	}
+	if _, err := NewNetwork("ok", NewDense("a", 4, 5), NewDense("b", 5, 2)); err != nil {
+		t.Fatalf("valid network rejected: %v", err)
+	}
+}
+
+func TestParamsRoundTrip(t *testing.T) {
+	net := MLP("rt", 4, 8, 3)
+	net.Init([]byte("seed"))
+	p := net.Params()
+	if len(p) != net.NumParams() {
+		t.Fatalf("Params len %d, NumParams %d", len(p), net.NumParams())
+	}
+	p2 := p.Clone()
+	for i := range p2 {
+		p2[i] += 1.5
+	}
+	if err := net.SetParams(p2); err != nil {
+		t.Fatal(err)
+	}
+	got := net.Params()
+	for i := range got {
+		if got[i] != p2[i] {
+			t.Fatalf("param %d: got %v want %v", i, got[i], p2[i])
+		}
+	}
+	if err := net.SetParams(p[:3]); err == nil {
+		t.Fatal("want error on short vector")
+	}
+}
+
+func TestLayoutMatchesParams(t *testing.T) {
+	net := ConvNet8(1, 8, 8, 10)
+	layout := net.Layout()
+	if layout.TotalSize() != net.NumParams() {
+		t.Fatalf("layout size %d != NumParams %d", layout.TotalSize(), net.NumParams())
+	}
+	// Every block must be named and non-empty.
+	for _, s := range layout {
+		if s.Name == "" || s.Size() == 0 {
+			t.Errorf("bad layout entry %v", s)
+		}
+	}
+}
+
+func TestInitDeterminism(t *testing.T) {
+	a := MLP("det", 6, 10, 4)
+	b := MLP("det", 6, 10, 4)
+	a.Init([]byte("same-seed"))
+	b.Init([]byte("same-seed"))
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("same seed produced different init")
+		}
+	}
+	c := MLP("det", 6, 10, 4)
+	c.Init([]byte("other-seed"))
+	pc := c.Params()
+	same := 0
+	for i := range pa {
+		if pa[i] == pc[i] {
+			same++
+		}
+	}
+	// Biases are zero in both; weights must differ.
+	if same == len(pa) {
+		t.Fatal("different seeds produced identical init")
+	}
+}
+
+func TestZeroGrads(t *testing.T) {
+	net := MLP("zg", 3, 4, 2)
+	net.Init([]byte("s"))
+	x := []float64{1, 2, 3}
+	out := net.Forward(x, true)
+	_, g, _ := CrossEntropy(out, 0)
+	net.Backward(g)
+	if tensorAllZero(net.Grads()) {
+		t.Fatal("grads should be nonzero after backward")
+	}
+	net.ZeroGrads()
+	if !tensorAllZero(net.Grads()) {
+		t.Fatal("grads should be zero after ZeroGrads")
+	}
+}
+
+func tensorAllZero(v []float64) bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFreezePrefix(t *testing.T) {
+	net := MLP("fz", 3, 4, 2)
+	net.Init([]byte("s"))
+	net.FreezePrefix(1) // freeze fc1
+	x := []float64{1, -1, 0.5}
+	out := net.Forward(x, true)
+	_, g, _ := CrossEntropy(out, 1)
+	net.Backward(g)
+	grads := net.Grads()
+	layout := net.Layout()
+	offs := layout.Offsets()
+	// fc1 has blocks 0 (w) and 1 (b); both must be zero.
+	for i := offs[0]; i < offs[2]; i++ {
+		if grads[i] != 0 {
+			t.Fatalf("frozen layer grad nonzero at %d", i)
+		}
+	}
+	// The head must have nonzero grads.
+	if tensorAllZero(grads[offs[2]:]) {
+		t.Fatal("unfrozen head has all-zero grads")
+	}
+}
+
+func TestPredictAndSoftmax(t *testing.T) {
+	p := Softmax([]float64{1, 2, 3})
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("softmax sums to %v", sum)
+	}
+	if !(p[2] > p[1] && p[1] > p[0]) {
+		t.Fatalf("softmax ordering broken: %v", p)
+	}
+	// Stability with large logits.
+	p = Softmax([]float64{1000, 1001})
+	if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+		t.Fatal("softmax overflow")
+	}
+}
+
+func TestCrossEntropyErrors(t *testing.T) {
+	if _, _, err := CrossEntropy([]float64{1, 2}, 5); err == nil {
+		t.Fatal("want out-of-range label error")
+	}
+	if _, _, err := CrossEntropy([]float64{1, 2}, -1); err == nil {
+		t.Fatal("want negative label error")
+	}
+	loss, grad, err := CrossEntropy([]float64{0, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-math.Log(2)) > 1e-9 {
+		t.Fatalf("loss = %v, want ln 2", loss)
+	}
+	if math.Abs(grad[0]+0.5) > 1e-9 || math.Abs(grad[1]-0.5) > 1e-9 {
+		t.Fatalf("grad = %v", grad)
+	}
+}
+
+func TestMSELoss(t *testing.T) {
+	loss, grad, err := MSELoss([]float64{1, 2}, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(loss-1.25) > 1e-9 {
+		t.Fatalf("loss = %v", loss)
+	}
+	if math.Abs(grad[0]-0.5) > 1e-9 || math.Abs(grad[1]-1) > 1e-9 {
+		t.Fatalf("grad = %v", grad)
+	}
+	if _, _, err := MSELoss([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("want length error")
+	}
+}
+
+func TestZooShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		net  *Network
+		in   int
+		out  int
+	}{
+		{"lenet", LeNetDLG(3, 16, 16, 100), 3 * 16 * 16, 100},
+		{"convnet8", ConvNet8(1, 28, 28, 10), 28 * 28, 10},
+		{"convnet23", ConvNet23(3, 32, 32, 10), 3 * 32 * 32, 10},
+		{"resnet", ResNet18Lite(3, 16, 16, 100, [4]int{4, 8, 16, 32}), 3 * 16 * 16, 100},
+	}
+	for _, c := range cases {
+		if c.net.InDim() != c.in {
+			t.Errorf("%s: InDim = %d, want %d", c.name, c.net.InDim(), c.in)
+		}
+		if c.net.OutDim() != c.out {
+			t.Errorf("%s: OutDim = %d, want %d", c.name, c.net.OutDim(), c.out)
+		}
+		// Forward must produce finite outputs post-init.
+		c.net.Init([]byte("zoo"))
+		x := randInput(c.net.InDim(), c.name)
+		out := c.net.Forward(x, false)
+		for _, v := range out {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: non-finite output", c.name)
+				break
+			}
+		}
+	}
+	vgg, head := VGG16Lite(1, 32, 32, 16)
+	if vgg.InDim() != 32*32 || vgg.OutDim() != 16 {
+		t.Errorf("vgg dims: in %d out %d", vgg.InDim(), vgg.OutDim())
+	}
+	if head <= 0 || head >= vgg.NumLayers() {
+		t.Errorf("vgg head offset %d out of range", head)
+	}
+}
+
+// Property: SetParams(Params()) is the identity for arbitrary overwrites.
+func TestParamsQuick(t *testing.T) {
+	net := MLP("pq", 3, 5, 2)
+	n := net.NumParams()
+	f := func(vals []float64) bool {
+		v := make([]float64, n)
+		for i := range v {
+			if i < len(vals) && !math.IsNaN(vals[i]) && !math.IsInf(vals[i], 0) {
+				v[i] = vals[i]
+			} else {
+				v[i] = float64(i)
+			}
+		}
+		if err := net.SetParams(v); err != nil {
+			return false
+		}
+		got := net.Params()
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Training sanity: a small MLP must be able to fit a toy problem, proving
+// the full forward/backward/update loop learns.
+func TestMLPLearnsXOR(t *testing.T) {
+	net := MLP("xor", 2, 8, 2)
+	net.Init([]byte("xor-seed"))
+	data := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	labels := []int{0, 1, 1, 0}
+	lr := 0.5
+	for epoch := 0; epoch < 2000; epoch++ {
+		net.ZeroGrads()
+		for i, x := range data {
+			out := net.Forward(x, true)
+			_, g, _ := CrossEntropy(out, labels[i])
+			net.Backward(g)
+		}
+		params := net.Params()
+		grads := net.Grads()
+		for i := range params {
+			params[i] -= lr * grads[i] / float64(len(data))
+		}
+		_ = net.SetParams(params)
+	}
+	for i, x := range data {
+		if net.Predict(x) != labels[i] {
+			t.Fatalf("XOR not learned: Predict(%v) = %d, want %d", x, net.Predict(x), labels[i])
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	src := MLP("c", 3, 4, 2)
+	src.Init([]byte("clone"))
+	dup := Clone(func() *Network { return MLP("c", 3, 4, 2) }, src)
+	p := src.Params()
+	q := dup.Params()
+	for i := range p {
+		if p[i] != q[i] {
+			t.Fatal("clone params differ")
+		}
+	}
+	p[0] = 42
+	_ = src.SetParams(p)
+	if dup.Params()[0] == 42 {
+		t.Fatal("clone shares storage")
+	}
+}
+
+func TestStreamBasedInputHelper(t *testing.T) {
+	// randInput must be deterministic per seed.
+	a := randInput(10, "x")
+	b := randInput(10, "x")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("randInput not deterministic")
+		}
+	}
+	_ = rng.IsPerm(nil) // keep the import honest
+}

@@ -1,0 +1,107 @@
+package nn
+
+import "deta/internal/tensor"
+
+// ChannelNorm normalizes each channel of a CHW input to zero mean and unit
+// variance per sample (instance normalization) and applies a learnable
+// per-channel affine transform. It stands in for batch normalization in the
+// residual networks: with single-sample processing, batch statistics
+// degenerate to instance statistics, which preserves the training-stability
+// role the paper's models rely on.
+type ChannelNorm struct {
+	name         string
+	ch, inH, inW int
+	eps          float64
+
+	gamma, beta   []float64
+	gGamma, gBeta []float64
+
+	lastIn []float64
+	mean   []float64
+	invStd []float64
+	normed []float64
+}
+
+// NewChannelNorm constructs an instance-normalization layer.
+func NewChannelNorm(name string, ch, inH, inW int) *ChannelNorm {
+	n := &ChannelNorm{
+		name: name, ch: ch, inH: inH, inW: inW, eps: 1e-5,
+		gamma: make([]float64, ch), beta: make([]float64, ch),
+		gGamma: make([]float64, ch), gBeta: make([]float64, ch),
+		mean: make([]float64, ch), invStd: make([]float64, ch),
+	}
+	for i := range n.gamma {
+		n.gamma[i] = 1
+	}
+	return n
+}
+
+func (n *ChannelNorm) Name() string { return n.name }
+func (n *ChannelNorm) InDim() int   { return n.ch * n.inH * n.inW }
+func (n *ChannelNorm) OutDim() int  { return n.InDim() }
+
+func (n *ChannelNorm) Forward(x []float64, _ bool) []float64 {
+	checkDim(n.name, len(x), n.InDim())
+	n.lastIn = x
+	area := n.inH * n.inW
+	out := make([]float64, len(x))
+	n.normed = make([]float64, len(x))
+	for c := 0; c < n.ch; c++ {
+		seg := x[c*area : (c+1)*area]
+		var mu float64
+		for _, v := range seg {
+			mu += v
+		}
+		mu /= float64(area)
+		var vr float64
+		for _, v := range seg {
+			d := v - mu
+			vr += d * d
+		}
+		vr /= float64(area)
+		inv := 1 / sqrt(vr+n.eps)
+		n.mean[c] = mu
+		n.invStd[c] = inv
+		for i, v := range seg {
+			z := (v - mu) * inv
+			n.normed[c*area+i] = z
+			out[c*area+i] = n.gamma[c]*z + n.beta[c]
+		}
+	}
+	return out
+}
+
+func (n *ChannelNorm) Backward(grad []float64) []float64 {
+	checkDim(n.name+" backward", len(grad), n.OutDim())
+	area := n.inH * n.inW
+	in := make([]float64, len(grad))
+	for c := 0; c < n.ch; c++ {
+		var sumG, sumGZ float64
+		for i := 0; i < area; i++ {
+			g := grad[c*area+i]
+			z := n.normed[c*area+i]
+			sumG += g
+			sumGZ += g * z
+			n.gGamma[c] += g * z
+			n.gBeta[c] += g
+		}
+		// dL/dx = gamma*invStd/area * (area*g - sumG - z*sumGZ)
+		k := n.gamma[c] * n.invStd[c] / float64(area)
+		for i := 0; i < area; i++ {
+			g := grad[c*area+i]
+			z := n.normed[c*area+i]
+			in[c*area+i] = k * (float64(area)*g - sumG - z*sumGZ)
+		}
+	}
+	return in
+}
+
+func (n *ChannelNorm) Params() [][]float64 { return [][]float64{n.gamma, n.beta} }
+func (n *ChannelNorm) Grads() [][]float64  { return [][]float64{n.gGamma, n.gBeta} }
+
+func (n *ChannelNorm) Shapes() []tensor.Shape {
+	return []tensor.Shape{
+		{Name: n.name + ".gamma", Dims: []int{n.ch}},
+		{Name: n.name + ".beta", Dims: []int{n.ch}},
+	}
+}

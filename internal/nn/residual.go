@@ -1,0 +1,104 @@
+package nn
+
+import "deta/internal/tensor"
+
+// Residual computes out = body(x) + skip(x), the basic block of ResNet. The
+// body is a sequence of layers; skip is either the identity (when the body
+// preserves dimensions) or a projection layer such as a strided 1x1
+// convolution.
+type Residual struct {
+	name string
+	body []Layer
+	skip Layer // nil means identity
+}
+
+// NewResidual wires a residual block. If skip is nil the input is added to
+// the body output directly, which requires the body to preserve dimensions.
+func NewResidual(name string, body []Layer, skip Layer) *Residual {
+	if len(body) == 0 {
+		panic("nn: residual block with empty body: " + name)
+	}
+	out := body[len(body)-1].OutDim()
+	in := body[0].InDim()
+	if skip == nil {
+		if in != out {
+			panic("nn: identity residual requires matching dims: " + name)
+		}
+	} else if skip.InDim() != in || skip.OutDim() != out {
+		panic("nn: residual projection dims mismatch: " + name)
+	}
+	return &Residual{name: name, body: body, skip: skip}
+}
+
+func (r *Residual) Name() string { return r.name }
+func (r *Residual) InDim() int   { return r.body[0].InDim() }
+func (r *Residual) OutDim() int  { return r.body[len(r.body)-1].OutDim() }
+
+func (r *Residual) Forward(x []float64, train bool) []float64 {
+	h := x
+	for _, l := range r.body {
+		h = l.Forward(h, train)
+	}
+	var s []float64
+	if r.skip == nil {
+		s = x
+	} else {
+		s = r.skip.Forward(x, train)
+	}
+	out := make([]float64, len(h))
+	for i := range h {
+		out[i] = h[i] + s[i]
+	}
+	return out
+}
+
+func (r *Residual) Backward(grad []float64) []float64 {
+	g := grad
+	for i := len(r.body) - 1; i >= 0; i-- {
+		g = r.body[i].Backward(g)
+	}
+	var gs []float64
+	if r.skip == nil {
+		gs = grad
+	} else {
+		gs = r.skip.Backward(grad)
+	}
+	out := make([]float64, len(g))
+	for i := range g {
+		out[i] = g[i] + gs[i]
+	}
+	return out
+}
+
+func (r *Residual) Params() [][]float64 {
+	var out [][]float64
+	for _, l := range r.body {
+		out = append(out, l.Params()...)
+	}
+	if r.skip != nil {
+		out = append(out, r.skip.Params()...)
+	}
+	return out
+}
+
+func (r *Residual) Grads() [][]float64 {
+	var out [][]float64
+	for _, l := range r.body {
+		out = append(out, l.Grads()...)
+	}
+	if r.skip != nil {
+		out = append(out, r.skip.Grads()...)
+	}
+	return out
+}
+
+func (r *Residual) Shapes() []tensor.Shape {
+	var out []tensor.Shape
+	for _, l := range r.body {
+		out = append(out, l.Shapes()...)
+	}
+	if r.skip != nil {
+		out = append(out, r.skip.Shapes()...)
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"deta/internal/tensor"
+)
+
+// Checkpoint is the serialized form of a network's parameters together
+// with the layout they belong to, so loads can be validated against the
+// receiving architecture.
+type Checkpoint struct {
+	Name   string
+	Layout tensor.Layout
+	Params tensor.Vector
+}
+
+// Save writes the network's parameters as a gob checkpoint.
+func (n *Network) Save(w io.Writer) error {
+	cp := Checkpoint{Name: n.Name, Layout: n.Layout(), Params: n.Params()}
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("nn: saving %s: %w", n.Name, err)
+	}
+	return nil
+}
+
+// Load reads a checkpoint and installs its parameters, validating that the
+// layout matches this network's architecture block for block.
+func (n *Network) Load(r io.Reader) error {
+	var cp Checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("nn: loading checkpoint: %w", err)
+	}
+	layout := n.Layout()
+	if len(cp.Layout) != len(layout) {
+		return fmt.Errorf("nn: checkpoint has %d parameter blocks, network %s has %d",
+			len(cp.Layout), n.Name, len(layout))
+	}
+	for i, s := range layout {
+		got := cp.Layout[i]
+		if got.Name != s.Name || got.Size() != s.Size() {
+			return fmt.Errorf("nn: checkpoint block %d is %v, network expects %v", i, got, s)
+		}
+	}
+	return n.SetParams(cp.Params)
+}

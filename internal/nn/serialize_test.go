@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := ConvNet8(1, 8, 8, 4)
+	src.Init([]byte("save-load"))
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := ConvNet8(1, 8, 8, 4)
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sp, dp := src.Params(), dst.Params()
+	for i := range sp {
+		if sp[i] != dp[i] {
+			t.Fatalf("param %d differs after load", i)
+		}
+	}
+}
+
+func TestLoadRejectsWrongArchitecture(t *testing.T) {
+	src := ConvNet8(1, 8, 8, 4)
+	src.Init([]byte("s"))
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wrong := MLP("other", 64, 10, 4)
+	err := wrong.Load(&buf)
+	if err == nil {
+		t.Fatal("mismatched architecture accepted")
+	}
+	if !strings.Contains(err.Error(), "block") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	net := MLP("g", 4, 3, 2)
+	if err := net.Load(strings.NewReader("not a checkpoint")); err == nil {
+		t.Fatal("garbage loaded")
+	}
+}
+
+func TestLoadRejectsBlockCountMismatch(t *testing.T) {
+	src := MLP("small", 4, 2)
+	src.Init([]byte("s"))
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	big := MLP("big", 4, 5, 2)
+	if err := big.Load(&buf); err == nil {
+		t.Fatal("block-count mismatch accepted")
+	}
+}

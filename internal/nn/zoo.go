@@ -1,0 +1,202 @@
+package nn
+
+import "fmt"
+
+// This file is the model zoo: faithfully shaped but width-reduced versions
+// of every architecture in the paper's evaluation. The reduction is a
+// documented substitution (DESIGN.md §2): DeTA manipulates flattened
+// parameter vectors, so experiments need real convolutional gradients and
+// trainable models, not the paper's exact FLOP counts.
+
+// LeNetDLG builds the LeNet variant used by the DLG/iDLG attacks: three
+// 5x5/12-channel convolutions with sigmoid activations (the attack needs a
+// twice-differentiable model) followed by a linear classifier.
+// Input is C x H x W; H and W must be divisible by 4.
+func LeNetDLG(inC, inH, inW, classes int) *Network {
+	if inH%4 != 0 || inW%4 != 0 {
+		panic(fmt.Sprintf("nn: LeNetDLG input %dx%d must be divisible by 4", inH, inW))
+	}
+	const ch = 12
+	c1 := NewConv2D("conv1", inC, inH, inW, ch, 5, 2, 2)
+	_, h1, w1 := c1.OutDims()
+	c2 := NewConv2D("conv2", ch, h1, w1, ch, 5, 2, 2)
+	_, h2, w2 := c2.OutDims()
+	c3 := NewConv2D("conv3", ch, h2, w2, ch, 5, 1, 2)
+	_, h3, w3 := c3.OutDims()
+	return MustNetwork("LeNet-DLG",
+		c1, NewSigmoid("sig1", c1.OutDim()),
+		c2, NewSigmoid("sig2", c2.OutDim()),
+		c3, NewSigmoid("sig3", c3.OutDim()),
+		NewDense("fc", ch*h3*w3, classes),
+	)
+}
+
+// ConvNet8 is the eight-layer MNIST convolutional network of Figure 5.
+func ConvNet8(inC, inH, inW, classes int) *Network {
+	c1 := NewConv2D("conv1", inC, inH, inW, 8, 3, 1, 1)
+	_, h1, w1 := c1.OutDims()
+	p1 := NewMaxPool2D("pool1", 8, h1, w1, 2, 2)
+	_, h2, w2 := p1.OutDims()
+	c2 := NewConv2D("conv2", 8, h2, w2, 16, 3, 1, 1)
+	_, h3, w3 := c2.OutDims()
+	p2 := NewMaxPool2D("pool2", 16, h3, w3, 2, 2)
+	_, h4, w4 := p2.OutDims()
+	fcIn := 16 * h4 * w4
+	return MustNetwork("ConvNet-8",
+		c1, NewReLU("relu1", c1.OutDim()),
+		p1,
+		c2, NewReLU("relu2", c2.OutDim()),
+		p2,
+		NewDense("fc1", fcIn, 64),
+		NewReLU("relu3", 64),
+		NewDense("fc2", 64, classes),
+	)
+}
+
+// ConvNet23 is the 23-layer CIFAR-10 network of Figure 6: a VGG-style stack
+// of seven convolutions in three pooled stages plus a two-layer classifier.
+// Input spatial dims must be divisible by 8.
+func ConvNet23(inC, inH, inW, classes int) *Network {
+	if inH%8 != 0 || inW%8 != 0 {
+		panic(fmt.Sprintf("nn: ConvNet23 input %dx%d must be divisible by 8", inH, inW))
+	}
+	var layers []Layer
+	addConv := func(name string, c *Conv2D) (ch, h, w int) {
+		layers = append(layers, c, NewReLU(name+".relu", c.OutDim()))
+		return c.OutDims()
+	}
+	ch, h, w := addConv("c1", NewConv2D("c1", inC, inH, inW, 8, 3, 1, 1))
+	ch, h, w = addConv("c2", NewConv2D("c2", ch, h, w, 8, 3, 1, 1))
+	p1 := NewMaxPool2D("p1", ch, h, w, 2, 2)
+	layers = append(layers, p1)
+	ch, h, w = p1.OutDims()
+
+	ch, h, w = addConv("c3", NewConv2D("c3", ch, h, w, 16, 3, 1, 1))
+	ch, h, w = addConv("c4", NewConv2D("c4", ch, h, w, 16, 3, 1, 1))
+	p2 := NewMaxPool2D("p2", ch, h, w, 2, 2)
+	layers = append(layers, p2)
+	ch, h, w = p2.OutDims()
+
+	ch, h, w = addConv("c5", NewConv2D("c5", ch, h, w, 32, 3, 1, 1))
+	ch, h, w = addConv("c6", NewConv2D("c6", ch, h, w, 32, 3, 1, 1))
+	ch, h, w = addConv("c7", NewConv2D("c7", ch, h, w, 32, 3, 1, 1))
+	p3 := NewMaxPool2D("p3", ch, h, w, 2, 2)
+	layers = append(layers, p3)
+	ch, h, w = p3.OutDims()
+
+	fcIn := ch * h * w
+	layers = append(layers,
+		NewDense("fc1", fcIn, 64),
+		NewReLU("fc1.relu", 64),
+		NewDense("fc2", 64, classes),
+	)
+	return MustNetwork("ConvNet-23", layers...)
+}
+
+// resBlock builds one basic residual block: conv-norm-relu-conv-norm with
+// an optional strided 1x1 projection when dimensions change.
+func resBlock(name string, inC, inH, inW, outC, stride int) *Residual {
+	c1 := NewConv2D(name+".c1", inC, inH, inW, outC, 3, stride, 1)
+	_, h1, w1 := c1.OutDims()
+	n1 := NewChannelNorm(name+".n1", outC, h1, w1)
+	r1 := NewReLU(name+".relu", c1.OutDim())
+	c2 := NewConv2D(name+".c2", outC, h1, w1, outC, 3, 1, 1)
+	_, h2, w2 := c2.OutDims()
+	n2 := NewChannelNorm(name+".n2", outC, h2, w2)
+	body := []Layer{c1, n1, r1, c2, n2}
+	var skip Layer
+	if stride != 1 || inC != outC {
+		skip = NewConv2D(name+".proj", inC, inH, inW, outC, 1, stride, 0)
+	}
+	return NewResidual(name, body, skip)
+}
+
+// ResNet18Lite is the width-reduced ResNet-18 used for the Inverting
+// Gradients experiment (Table 3): a stem plus four stages of two basic
+// residual blocks each (the 2-2-2-2 layout of ResNet-18), global average
+// pooling, and a linear classifier. widths gives the four stage widths; the
+// canonical reduction is [4, 8, 16, 32] (ResNet-18 itself is
+// [64, 128, 256, 512]).
+func ResNet18Lite(inC, inH, inW, classes int, widths [4]int) *Network {
+	stem := NewConv2D("stem", inC, inH, inW, widths[0], 3, 1, 1)
+	_, h, w := stem.OutDims()
+	norm := NewChannelNorm("stem.norm", widths[0], h, w)
+	relu := NewReLU("stem.relu", stem.OutDim())
+	layers := []Layer{stem, norm, relu}
+
+	ch := widths[0]
+	for stage := 0; stage < 4; stage++ {
+		outC := widths[stage]
+		stride := 1
+		if stage > 0 {
+			stride = 2
+		}
+		b1 := resBlock(fmt.Sprintf("s%d.b1", stage+1), ch, h, w, outC, stride)
+		layers = append(layers, b1)
+		// Track dims through the strided block.
+		h = (h+2-3)/stride + 1
+		w = (w+2-3)/stride + 1
+		b2 := resBlock(fmt.Sprintf("s%d.b2", stage+1), outC, h, w, outC, 1)
+		layers = append(layers, b2)
+		ch = outC
+	}
+	gap := NewGlobalAvgPool("gap", ch, h, w)
+	layers = append(layers, gap, NewDense("fc", ch, classes))
+	return MustNetwork("ResNet-18-lite", layers...)
+}
+
+// VGG16Lite is the width-reduced VGG-16 used for the RVL-CDIP transfer
+// learning experiment (Figure 7): thirteen convolutions in the canonical
+// 2-2-3-3-3 blocks with max pooling, then the three fully connected layers
+// that the paper replaces for transfer learning. HeadOffset (returned) is
+// the index of the first classifier layer, so callers can FreezePrefix it
+// to reproduce the paper's "replace the last three FC layers" setup.
+// Input spatial dims must be divisible by 32.
+func VGG16Lite(inC, inH, inW, classes int) (*Network, int) {
+	if inH%32 != 0 || inW%32 != 0 {
+		panic(fmt.Sprintf("nn: VGG16Lite input %dx%d must be divisible by 32", inH, inW))
+	}
+	widths := []int{4, 8, 16, 16, 16}
+	blocks := []int{2, 2, 3, 3, 3}
+	var layers []Layer
+	ch, h, w := inC, inH, inW
+	conv := 0
+	for b, reps := range blocks {
+		for r := 0; r < reps; r++ {
+			conv++
+			c := NewConv2D(fmt.Sprintf("c%d", conv), ch, h, w, widths[b], 3, 1, 1)
+			layers = append(layers, c, NewReLU(fmt.Sprintf("c%d.relu", conv), c.OutDim()))
+			ch, h, w = c.OutDims()
+		}
+		p := NewMaxPool2D(fmt.Sprintf("p%d", b+1), ch, h, w, 2, 2)
+		layers = append(layers, p)
+		ch, h, w = p.OutDims()
+	}
+	headOffset := len(layers)
+	fcIn := ch * h * w
+	layers = append(layers,
+		NewDense("fc1", fcIn, 32),
+		NewReLU("fc1.relu", 32),
+		NewDense("fc2", 32, 32),
+		NewReLU("fc2.relu", 32),
+		NewDense("fc3", 32, classes),
+	)
+	return MustNetwork("VGG-16-lite", layers...), headOffset
+}
+
+// MLP builds a simple multilayer perceptron, useful for tests and the
+// quickstart example.
+func MLP(name string, dims ...int) *Network {
+	if len(dims) < 2 {
+		panic("nn: MLP needs at least input and output dims")
+	}
+	var layers []Layer
+	for i := 0; i < len(dims)-1; i++ {
+		d := NewDense(fmt.Sprintf("fc%d", i+1), dims[i], dims[i+1])
+		layers = append(layers, d)
+		if i < len(dims)-2 {
+			layers = append(layers, NewReLU(fmt.Sprintf("relu%d", i+1), dims[i+1]))
+		}
+	}
+	return MustNetwork(name, layers...)
+}

@@ -1,0 +1,208 @@
+// Package optim provides the optimizers the reproduction needs: plain and
+// momentum SGD for local training, Adam for the Inverting Gradients attack,
+// and L-BFGS (two-loop recursion) for the DLG/iDLG attacks — matching the
+// optimizers the respective papers use.
+package optim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"deta/internal/tensor"
+)
+
+// Optimizer updates a parameter vector in place given its gradient.
+type Optimizer interface {
+	// Step applies one update. params and grad must have the length the
+	// optimizer was constructed with.
+	Step(params, grad tensor.Vector) error
+	// Reset clears internal state (moments, history).
+	Reset()
+}
+
+// SGD is plain stochastic gradient descent with optional momentum and
+// weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity tensor.Vector
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// NewMomentumSGD returns SGD with classical momentum.
+func NewMomentumSGD(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+// Step implements Optimizer.
+func (s *SGD) Step(params, grad tensor.Vector) error {
+	if len(params) != len(grad) {
+		return fmt.Errorf("optim: params/grad length mismatch: %d vs %d", len(params), len(grad))
+	}
+	if s.Momentum == 0 {
+		for i := range params {
+			g := grad[i] + s.WeightDecay*params[i]
+			params[i] -= s.LR * g
+		}
+		return nil
+	}
+	if len(s.velocity) != len(params) {
+		s.velocity = make(tensor.Vector, len(params))
+	}
+	for i := range params {
+		g := grad[i] + s.WeightDecay*params[i]
+		s.velocity[i] = s.Momentum*s.velocity[i] + g
+		params[i] -= s.LR * s.velocity[i]
+	}
+	return nil
+}
+
+// Reset implements Optimizer.
+func (s *SGD) Reset() { s.velocity = nil }
+
+// Adam is the Adam optimizer (Kingma & Ba), used by the IG attack.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t    int
+	m, v tensor.Vector
+}
+
+// NewAdam returns Adam with standard hyperparameters.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params, grad tensor.Vector) error {
+	if len(params) != len(grad) {
+		return fmt.Errorf("optim: params/grad length mismatch: %d vs %d", len(params), len(grad))
+	}
+	if len(a.m) != len(params) {
+		a.m = make(tensor.Vector, len(params))
+		a.v = make(tensor.Vector, len(params))
+		a.t = 0
+	}
+	a.t++
+	b1c := 1 - math.Pow(a.Beta1, float64(a.t))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i := range params {
+		g := grad[i]
+		a.m[i] = a.Beta1*a.m[i] + (1-a.Beta1)*g
+		a.v[i] = a.Beta2*a.v[i] + (1-a.Beta2)*g*g
+		mHat := a.m[i] / b1c
+		vHat := a.v[i] / b2c
+		params[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Epsilon)
+	}
+	return nil
+}
+
+// Reset implements Optimizer.
+func (a *Adam) Reset() { a.m, a.v, a.t = nil, nil, 0 }
+
+// LBFGS implements the limited-memory BFGS direction via the standard
+// two-loop recursion, with a fixed step size and curvature-pair history.
+// DLG drives its dummy-input optimization with L-BFGS; we reproduce that.
+//
+// This is a steplength-free variant (no Wolfe line search): the caller
+// supplies a step size, which matches how the attack reference
+// implementations configure torch.optim.LBFGS with a fixed lr.
+type LBFGS struct {
+	LR      float64
+	History int
+
+	sHist, yHist []tensor.Vector
+	rhoHist      []float64
+	prevX        tensor.Vector
+	prevG        tensor.Vector
+}
+
+// NewLBFGS returns an L-BFGS optimizer with history m (typically 5-20).
+func NewLBFGS(lr float64, history int) *LBFGS {
+	if history < 1 {
+		history = 10
+	}
+	return &LBFGS{LR: lr, History: history}
+}
+
+// Step implements Optimizer.
+func (l *LBFGS) Step(params, grad tensor.Vector) error {
+	if len(params) != len(grad) {
+		return fmt.Errorf("optim: params/grad length mismatch: %d vs %d", len(params), len(grad))
+	}
+	if l.prevX != nil {
+		s, err := tensor.Sub(params, l.prevX)
+		if err != nil {
+			return err
+		}
+		y, err := tensor.Sub(grad, l.prevG)
+		if err != nil {
+			return err
+		}
+		sy, _ := tensor.Dot(s, y)
+		if sy > 1e-10 {
+			l.sHist = append(l.sHist, s)
+			l.yHist = append(l.yHist, y)
+			l.rhoHist = append(l.rhoHist, 1/sy)
+			if len(l.sHist) > l.History {
+				l.sHist = l.sHist[1:]
+				l.yHist = l.yHist[1:]
+				l.rhoHist = l.rhoHist[1:]
+			}
+		}
+	}
+	l.prevX = params.Clone()
+	l.prevG = grad.Clone()
+
+	// Two-loop recursion computes H*grad.
+	q := grad.Clone()
+	k := len(l.sHist)
+	alpha := make([]float64, k)
+	for i := k - 1; i >= 0; i-- {
+		d, _ := tensor.Dot(l.sHist[i], q)
+		alpha[i] = l.rhoHist[i] * d
+		if err := tensor.AXPY(-alpha[i], q, l.yHist[i]); err != nil {
+			return err
+		}
+	}
+	// Initial Hessian scaling gamma = s.y / y.y from the newest pair.
+	if k > 0 {
+		sy, _ := tensor.Dot(l.sHist[k-1], l.yHist[k-1])
+		yy, _ := tensor.Dot(l.yHist[k-1], l.yHist[k-1])
+		if yy > 0 {
+			tensor.ScaleInPlace(sy/yy, q)
+		}
+	}
+	for i := 0; i < k; i++ {
+		d, _ := tensor.Dot(l.yHist[i], q)
+		beta := l.rhoHist[i] * d
+		if err := tensor.AXPY(alpha[i]-beta, q, l.sHist[i]); err != nil {
+			return err
+		}
+	}
+	// Descend along the quasi-Newton direction.
+	return tensor.AXPY(-l.LR, params, q)
+}
+
+// Reset implements Optimizer.
+func (l *LBFGS) Reset() {
+	l.sHist, l.yHist, l.rhoHist = nil, nil, nil
+	l.prevX, l.prevG = nil, nil
+}
+
+// ErrDiverged signals that an optimization produced non-finite parameters.
+var ErrDiverged = errors.New("optim: optimization diverged to non-finite values")
+
+// CheckFinite returns ErrDiverged if params contain NaN or Inf.
+func CheckFinite(params tensor.Vector) error {
+	if !tensor.IsFinite(params) {
+		return ErrDiverged
+	}
+	return nil
+}

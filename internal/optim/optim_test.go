@@ -1,0 +1,134 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"deta/internal/tensor"
+)
+
+// quadratic is f(x) = 0.5 * sum(c_i * x_i^2) with gradient c_i * x_i — a
+// convex test function with known minimum at the origin.
+func quadGrad(c, x tensor.Vector) tensor.Vector {
+	g := make(tensor.Vector, len(x))
+	for i := range x {
+		g[i] = c[i] * x[i]
+	}
+	return g
+}
+
+func quadVal(c, x tensor.Vector) float64 {
+	var s float64
+	for i := range x {
+		s += 0.5 * c[i] * x[i] * x[i]
+	}
+	return s
+}
+
+func runOpt(t *testing.T, opt Optimizer, iters int, lossBound float64) {
+	t.Helper()
+	c := tensor.Vector{1, 4, 0.5, 2}
+	x := tensor.Vector{3, -2, 5, 1}
+	for i := 0; i < iters; i++ {
+		if err := opt.Step(x, quadGrad(c, x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := quadVal(c, x); v > lossBound {
+		t.Fatalf("loss after %d iters = %v, want < %v (x=%v)", iters, v, lossBound, x)
+	}
+}
+
+func TestSGDConverges(t *testing.T)      { runOpt(t, NewSGD(0.1), 300, 1e-6) }
+func TestMomentumConverges(t *testing.T) { runOpt(t, NewMomentumSGD(0.05, 0.9), 300, 1e-6) }
+func TestAdamConverges(t *testing.T)     { runOpt(t, NewAdam(0.1), 500, 1e-6) }
+func TestLBFGSConverges(t *testing.T)    { runOpt(t, NewLBFGS(0.5, 10), 100, 1e-8) }
+
+func TestLBFGSBeatsSGDOnIllConditioned(t *testing.T) {
+	// Condition number 1e4: L-BFGS should converge far faster than SGD at
+	// a stable learning rate.
+	c := tensor.Vector{1e4, 1}
+	run := func(opt Optimizer, iters int) float64 {
+		x := tensor.Vector{1, 1}
+		for i := 0; i < iters; i++ {
+			if err := opt.Step(x, quadGrad(c, x)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return quadVal(c, x)
+	}
+	// SGD stable lr must be < 2/1e4.
+	sgdLoss := run(NewSGD(1e-4), 200)
+	lbfgsLoss := run(NewLBFGS(1.0, 10), 200)
+	if lbfgsLoss >= sgdLoss {
+		t.Fatalf("L-BFGS (%v) should beat SGD (%v) on ill-conditioned problem", lbfgsLoss, sgdLoss)
+	}
+}
+
+func TestStepLengthMismatch(t *testing.T) {
+	for _, opt := range []Optimizer{NewSGD(0.1), NewMomentumSGD(0.1, 0.9), NewAdam(0.1), NewLBFGS(0.1, 5)} {
+		if err := opt.Step(tensor.Vector{1, 2}, tensor.Vector{1}); err == nil {
+			t.Errorf("%T: want length-mismatch error", opt)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := tensor.Vector{1, 1}
+	x := tensor.Vector{2, 2}
+	a := NewAdam(0.1)
+	_ = a.Step(x, quadGrad(c, x))
+	a.Reset()
+	if a.m != nil || a.t != 0 {
+		t.Fatal("Adam.Reset did not clear state")
+	}
+	l := NewLBFGS(0.1, 5)
+	_ = l.Step(x, quadGrad(c, x))
+	_ = l.Step(x, quadGrad(c, x))
+	l.Reset()
+	if l.sHist != nil || l.prevX != nil {
+		t.Fatal("LBFGS.Reset did not clear state")
+	}
+}
+
+func TestLBFGSHistoryBound(t *testing.T) {
+	l := NewLBFGS(0.1, 3)
+	c := tensor.Vector{1, 2, 3}
+	x := tensor.Vector{5, 5, 5}
+	for i := 0; i < 20; i++ {
+		if err := l.Step(x, quadGrad(c, x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(l.sHist) > 3 {
+		t.Fatalf("history grew to %d, bound is 3", len(l.sHist))
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	s := NewSGD(0.1)
+	s.WeightDecay = 0.5
+	x := tensor.Vector{1}
+	zeroGrad := tensor.Vector{0}
+	_ = s.Step(x, zeroGrad)
+	// x <- x - lr*wd*x = 1 - 0.05 = 0.95
+	if math.Abs(x[0]-0.95) > 1e-12 {
+		t.Fatalf("weight decay step: x = %v", x[0])
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	if err := CheckFinite(tensor.Vector{1, 2}); err != nil {
+		t.Fatal("finite vector rejected")
+	}
+	if err := CheckFinite(tensor.Vector{math.NaN()}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestNewLBFGSDefaultHistory(t *testing.T) {
+	l := NewLBFGS(0.1, 0)
+	if l.History != 10 {
+		t.Fatalf("default history = %d, want 10", l.History)
+	}
+}

@@ -1,0 +1,223 @@
+// Package paillier implements the Paillier additively homomorphic
+// cryptosystem on math/big, plus fixed-point encoding so model-update
+// vectors of float64s can be encrypted, summed under encryption by an
+// aggregator, and decrypted/averaged by the parties. This backs the
+// Paillier-based fusion aggregation algorithm the paper evaluates in
+// Figures 5c and 5f.
+//
+// The scheme: n = p*q for safe-size primes p, q; g = n+1;
+// Enc(m) = g^m * r^n mod n^2; Dec(c) = L(c^lambda mod n^2) * mu mod n where
+// L(x) = (x-1)/n. Ciphertext products are plaintext sums, and ciphertext
+// exponentiation is plaintext scalar multiplication.
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+)
+
+var one = big.NewInt(1)
+
+// PublicKey encrypts and operates on ciphertexts.
+type PublicKey struct {
+	N  *big.Int // modulus
+	N2 *big.Int // N^2, cached
+	G  *big.Int // generator, N+1
+}
+
+// PrivateKey decrypts. It embeds the public key.
+type PrivateKey struct {
+	PublicKey
+	Lambda *big.Int // lcm(p-1, q-1)
+	Mu     *big.Int // (L(g^lambda mod n^2))^-1 mod n
+}
+
+// Ciphertext is an element of Z*_{n^2}.
+type Ciphertext struct {
+	C *big.Int
+}
+
+// GenerateKey creates a Paillier key pair with an n of the given bit size.
+// Bit sizes of 512-2048 are typical; tests use small keys for speed.
+func GenerateKey(bits int) (*PrivateKey, error) {
+	if bits < 128 {
+		return nil, fmt.Errorf("paillier: key size %d too small (min 128)", bits)
+	}
+	for {
+		p, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, err
+		}
+		q, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, err
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Mul(pm1, qm1)
+		lambda.Div(lambda, gcd)
+
+		n2 := new(big.Int).Mul(n, n)
+		g := new(big.Int).Add(n, one)
+		// mu = (L(g^lambda mod n^2))^-1 mod n
+		gl := new(big.Int).Exp(g, lambda, n2)
+		l := lFunc(gl, n)
+		mu := new(big.Int).ModInverse(l, n)
+		if mu == nil {
+			continue // degenerate; retry
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{N: n, N2: n2, G: g},
+			Lambda:    lambda,
+			Mu:        mu,
+		}, nil
+	}
+}
+
+func lFunc(x, n *big.Int) *big.Int {
+	out := new(big.Int).Sub(x, one)
+	return out.Div(out, n)
+}
+
+// Encrypt encrypts m (must satisfy 0 <= m < N).
+func (pk *PublicKey) Encrypt(m *big.Int) (*Ciphertext, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, fmt.Errorf("paillier: plaintext out of range [0, N)")
+	}
+	var r *big.Int
+	for {
+		var err error
+		r, err = rand.Int(rand.Reader, pk.N)
+		if err != nil {
+			return nil, err
+		}
+		if r.Sign() > 0 && new(big.Int).GCD(nil, nil, r, pk.N).Cmp(one) == 0 {
+			break
+		}
+	}
+	// g^m = (n+1)^m = 1 + n*m mod n^2 (binomial shortcut).
+	gm := new(big.Int).Mul(pk.N, m)
+	gm.Add(gm, one)
+	gm.Mod(gm, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := gm.Mul(gm, rn)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}, nil
+}
+
+// Decrypt recovers the plaintext in [0, N).
+func (sk *PrivateKey) Decrypt(ct *Ciphertext) (*big.Int, error) {
+	if ct == nil || ct.C == nil {
+		return nil, errors.New("paillier: nil ciphertext")
+	}
+	cl := new(big.Int).Exp(ct.C, sk.Lambda, sk.N2)
+	m := lFunc(cl, sk.N)
+	m.Mul(m, sk.Mu)
+	m.Mod(m, sk.N)
+	return m, nil
+}
+
+// Add returns the ciphertext of a+b.
+func (pk *PublicKey) Add(a, b *Ciphertext) *Ciphertext {
+	c := new(big.Int).Mul(a.C, b.C)
+	c.Mod(c, pk.N2)
+	return &Ciphertext{C: c}
+}
+
+// MulConst returns the ciphertext of k*a for plaintext scalar k >= 0.
+func (pk *PublicKey) MulConst(a *Ciphertext, k *big.Int) *Ciphertext {
+	return &Ciphertext{C: new(big.Int).Exp(a.C, k, pk.N2)}
+}
+
+// --- Fixed-point float encoding ---------------------------------------
+
+// FracBits is the default number of fractional bits used when encoding
+// float64 model parameters as Paillier plaintexts.
+const FracBits = 40
+
+// EncodeFloat converts x to a fixed-point plaintext modulo N. Negative
+// values wrap to the top half of [0, N), mirroring two's complement.
+func (pk *PublicKey) EncodeFloat(x float64, fracBits uint) (*big.Int, error) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return nil, fmt.Errorf("paillier: cannot encode %v", x)
+	}
+	scaled := new(big.Float).Mul(big.NewFloat(x), new(big.Float).SetInt(new(big.Int).Lsh(one, fracBits)))
+	m, _ := scaled.Int(nil)
+	m.Mod(m, pk.N)
+	return m, nil
+}
+
+// DecodeFloat reverses EncodeFloat. sumCount bounds how many encoded values
+// may have been added homomorphically: values in the top half of the range
+// minus headroom decode as negative.
+func (pk *PublicKey) DecodeFloat(m *big.Int, fracBits uint) float64 {
+	half := new(big.Int).Rsh(pk.N, 1)
+	v := new(big.Int).Set(m)
+	if v.Cmp(half) > 0 {
+		v.Sub(v, pk.N)
+	}
+	f := new(big.Float).SetInt(v)
+	f.Quo(f, new(big.Float).SetInt(new(big.Int).Lsh(one, fracBits)))
+	out, _ := f.Float64()
+	return out
+}
+
+// EncryptVector encrypts a float vector with FracBits fixed-point scaling.
+func (pk *PublicKey) EncryptVector(xs []float64) ([]*Ciphertext, error) {
+	out := make([]*Ciphertext, len(xs))
+	for i, x := range xs {
+		m, err := pk.EncodeFloat(x, FracBits)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: element %d: %w", i, err)
+		}
+		ct, err := pk.Encrypt(m)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ct
+	}
+	return out, nil
+}
+
+// DecryptVector decrypts a ciphertext vector back to floats.
+func (sk *PrivateKey) DecryptVector(cts []*Ciphertext) ([]float64, error) {
+	out := make([]float64, len(cts))
+	for i, ct := range cts {
+		m, err := sk.Decrypt(ct)
+		if err != nil {
+			return nil, fmt.Errorf("paillier: element %d: %w", i, err)
+		}
+		out[i] = sk.DecodeFloat(m, FracBits)
+	}
+	return out, nil
+}
+
+// AddVectors returns the elementwise homomorphic sum of ciphertext vectors.
+func (pk *PublicKey) AddVectors(vs ...[]*Ciphertext) ([]*Ciphertext, error) {
+	if len(vs) == 0 {
+		return nil, errors.New("paillier: no vectors to add")
+	}
+	n := len(vs[0])
+	for _, v := range vs[1:] {
+		if len(v) != n {
+			return nil, fmt.Errorf("paillier: vector length mismatch: %d vs %d", len(v), n)
+		}
+	}
+	out := make([]*Ciphertext, n)
+	for i := 0; i < n; i++ {
+		acc := vs[0][i]
+		for _, v := range vs[1:] {
+			acc = pk.Add(acc, v[i])
+		}
+		out[i] = acc
+	}
+	return out, nil
+}

@@ -1,0 +1,207 @@
+package paillier
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// Small keys keep tests fast; security is not under test.
+const testBits = 256
+
+var testKey *PrivateKey
+
+func key(t testing.TB) *PrivateKey {
+	if testKey == nil {
+		k, err := GenerateKey(testBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testKey = k
+	}
+	return testKey
+}
+
+func TestGenerateKeyTooSmall(t *testing.T) {
+	if _, err := GenerateKey(64); err == nil {
+		t.Fatal("want error for tiny key")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	sk := key(t)
+	for _, m := range []int64{0, 1, 2, 12345, 987654321} {
+		ct, err := sk.Encrypt(big.NewInt(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sk.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Int64() != m {
+			t.Fatalf("round trip %d -> %d", m, got.Int64())
+		}
+	}
+}
+
+func TestEncryptRejectsOutOfRange(t *testing.T) {
+	sk := key(t)
+	if _, err := sk.Encrypt(big.NewInt(-1)); err == nil {
+		t.Fatal("negative plaintext accepted")
+	}
+	if _, err := sk.Encrypt(new(big.Int).Set(sk.N)); err == nil {
+		t.Fatal("plaintext == N accepted")
+	}
+}
+
+func TestDecryptNil(t *testing.T) {
+	sk := key(t)
+	if _, err := sk.Decrypt(nil); err == nil {
+		t.Fatal("nil ciphertext accepted")
+	}
+}
+
+func TestEncryptionIsRandomized(t *testing.T) {
+	sk := key(t)
+	a, _ := sk.Encrypt(big.NewInt(42))
+	b, _ := sk.Encrypt(big.NewInt(42))
+	if a.C.Cmp(b.C) == 0 {
+		t.Fatal("two encryptions of the same plaintext are identical")
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	sk := key(t)
+	a, _ := sk.Encrypt(big.NewInt(111))
+	b, _ := sk.Encrypt(big.NewInt(222))
+	sum, err := sk.Decrypt(sk.Add(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Int64() != 333 {
+		t.Fatalf("Dec(Enc(111)+Enc(222)) = %v", sum)
+	}
+}
+
+func TestHomomorphicScalarMul(t *testing.T) {
+	sk := key(t)
+	a, _ := sk.Encrypt(big.NewInt(7))
+	got, err := sk.Decrypt(sk.MulConst(a, big.NewInt(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Int64() != 42 {
+		t.Fatalf("Dec(6*Enc(7)) = %v", got)
+	}
+}
+
+// Property: homomorphic addition matches plaintext addition for arbitrary
+// uint32 pairs.
+func TestHomomorphismQuick(t *testing.T) {
+	sk := key(t)
+	f := func(x, y uint32) bool {
+		a, err1 := sk.Encrypt(big.NewInt(int64(x)))
+		b, err2 := sk.Encrypt(big.NewInt(int64(y)))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		got, err := sk.Decrypt(sk.Add(a, b))
+		return err == nil && got.Int64() == int64(x)+int64(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloatEncodeDecode(t *testing.T) {
+	sk := key(t)
+	for _, x := range []float64{0, 1.5, -1.5, 0.001, -123.456, 1e6} {
+		m, err := sk.EncodeFloat(x, FracBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := sk.DecodeFloat(m, FracBits)
+		if math.Abs(got-x) > 1e-9 {
+			t.Fatalf("encode/decode %v -> %v", x, got)
+		}
+	}
+	if _, err := sk.EncodeFloat(math.NaN(), FracBits); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := sk.EncodeFloat(math.Inf(1), FracBits); err == nil {
+		t.Fatal("Inf accepted")
+	}
+}
+
+func TestVectorSumMatchesPlaintext(t *testing.T) {
+	sk := key(t)
+	a := []float64{0.5, -1.25, 3.75}
+	b := []float64{1.5, 2.25, -0.75}
+	c := []float64{-2.0, 0.5, 1.0}
+	ca, err := sk.EncryptVector(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := sk.EncryptVector(b)
+	cc, _ := sk.EncryptVector(c)
+	sum, err := sk.AddVectors(ca, cb, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.DecryptVector(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		want := a[i] + b[i] + c[i]
+		if math.Abs(got[i]-want) > 1e-9 {
+			t.Fatalf("element %d: %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestAddVectorsErrors(t *testing.T) {
+	sk := key(t)
+	if _, err := sk.AddVectors(); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	a, _ := sk.EncryptVector([]float64{1})
+	b, _ := sk.EncryptVector([]float64{1, 2})
+	if _, err := sk.AddVectors(a, b); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	sk := key(b)
+	m := big.NewInt(123456)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Encrypt(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecrypt(b *testing.B) {
+	sk := key(b)
+	ct, _ := sk.Encrypt(big.NewInt(123456))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sk.Decrypt(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHomomorphicAdd(b *testing.B) {
+	sk := key(b)
+	x, _ := sk.Encrypt(big.NewInt(1))
+	y, _ := sk.Encrypt(big.NewInt(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sk.Add(x, y)
+	}
+}

@@ -1,0 +1,176 @@
+// Package rng implements the deterministic, keyed randomness DeTA depends
+// on. Two properties matter:
+//
+//  1. Every party must derive the *same* permutation for a given
+//     (permutation key, training-round identifier) pair, because aggregation
+//     only works if all parties shuffle identically (paper §4.2).
+//  2. An adversary without the permutation key must face the full key space:
+//     the stream is a PRF (HMAC-SHA256 in counter mode), so permutations are
+//     unpredictable without the key.
+//
+// The package provides the PRF stream, uniform integer sampling via
+// rejection, Fisher-Yates permutation generation, and Gaussian sampling for
+// model initialization and synthetic data.
+package rng
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+)
+
+// Stream is a deterministic pseudorandom byte/number stream keyed by an
+// arbitrary-length secret and a domain-separation label. It is HMAC-SHA256
+// run in counter mode: block i = HMAC(key, label || uint64(i)).
+type Stream struct {
+	key     []byte
+	label   []byte
+	counter uint64
+	buf     [sha256.Size]byte
+	used    int
+
+	// Gaussian spare value (Box-Muller generates pairs).
+	haveSpare bool
+	spare     float64
+}
+
+// NewStream returns a stream keyed by key with the given domain-separation
+// label. Distinct labels produce independent streams under the same key.
+func NewStream(key []byte, label string) *Stream {
+	s := &Stream{
+		key:   append([]byte(nil), key...),
+		label: []byte(label),
+		used:  sha256.Size, // force refill on first use
+	}
+	return s
+}
+
+// DeriveSeed computes a 32-byte subkey from key and the concatenation of
+// contexts — used, e.g., to mix a permutation key with a round identifier.
+func DeriveSeed(key []byte, contexts ...[]byte) []byte {
+	mac := hmac.New(sha256.New, key)
+	for _, c := range contexts {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(c)))
+		mac.Write(n[:])
+		mac.Write(c)
+	}
+	return mac.Sum(nil)
+}
+
+func (s *Stream) refill() {
+	mac := hmac.New(sha256.New, s.key)
+	mac.Write(s.label)
+	var ctr [8]byte
+	binary.BigEndian.PutUint64(ctr[:], s.counter)
+	mac.Write(ctr[:])
+	sum := mac.Sum(nil)
+	copy(s.buf[:], sum)
+	s.counter++
+	s.used = 0
+}
+
+// Bytes fills p with pseudorandom bytes.
+func (s *Stream) Bytes(p []byte) {
+	for len(p) > 0 {
+		if s.used == len(s.buf) {
+			s.refill()
+		}
+		n := copy(p, s.buf[s.used:])
+		s.used += n
+		p = p[n:]
+	}
+}
+
+// Uint64 returns the next pseudorandom 64-bit value.
+func (s *Stream) Uint64() uint64 {
+	var b [8]byte
+	s.Bytes(b[:])
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Uniformity is exact via rejection sampling.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	un := uint64(n)
+	// Largest multiple of n that fits in a uint64; reject values above it.
+	limit := math.MaxUint64 - math.MaxUint64%un
+	for {
+		v := s.Uint64()
+		if v < limit {
+			return int(v % un)
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Stream) Float64() float64 {
+	// 53 random mantissa bits.
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard-normal sample (Box-Muller).
+func (s *Stream) NormFloat64() float64 {
+	if s.haveSpare {
+		s.haveSpare = false
+		return s.spare
+	}
+	for {
+		u1 := s.Float64()
+		if u1 == 0 {
+			continue
+		}
+		u2 := s.Float64()
+		r := math.Sqrt(-2 * math.Log(u1))
+		s.spare = r * math.Sin(2*math.Pi*u2)
+		s.haveSpare = true
+		return r * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// Perm returns a uniform pseudorandom permutation of [0, n) via
+// Fisher-Yates.
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the order of n elements using swap, Fisher-Yates style.
+func (s *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// InversePerm returns the inverse of permutation p: out[p[i]] = i.
+func InversePerm(p []int) []int {
+	out := make([]int, len(p))
+	for i, v := range p {
+		out[v] = i
+	}
+	return out
+}
+
+// IsPerm reports whether p is a permutation of [0, len(p)).
+func IsPerm(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

@@ -1,0 +1,228 @@
+package rng
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamDeterminism(t *testing.T) {
+	key := []byte("permutation-key")
+	a := NewStream(key, "round-7")
+	b := NewStream(key, "round-7")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestStreamLabelSeparation(t *testing.T) {
+	key := []byte("k")
+	a := NewStream(key, "round-1")
+	b := NewStream(key, "round-2")
+	same := 0
+	for i := 0; i < 32; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same != 0 {
+		t.Fatalf("%d/32 outputs collided across labels", same)
+	}
+}
+
+func TestStreamKeySeparation(t *testing.T) {
+	a := NewStream([]byte("key-a"), "x")
+	b := NewStream([]byte("key-b"), "x")
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("different keys produced identical first output")
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	k := []byte("master")
+	s1 := DeriveSeed(k, []byte("round"), []byte("1"))
+	s2 := DeriveSeed(k, []byte("round"), []byte("1"))
+	if !bytes.Equal(s1, s2) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+	s3 := DeriveSeed(k, []byte("round"), []byte("2"))
+	if bytes.Equal(s1, s3) {
+		t.Fatal("different contexts produced same seed")
+	}
+	// Length-prefixing must prevent concatenation ambiguity:
+	// ("ab","c") != ("a","bc").
+	x := DeriveSeed(k, []byte("ab"), []byte("c"))
+	y := DeriveSeed(k, []byte("a"), []byte("bc"))
+	if bytes.Equal(x, y) {
+		t.Fatal("context concatenation ambiguity")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := NewStream([]byte("k"), "intn")
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	s.Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := NewStream([]byte("k"), "uniform")
+	const n, trials = 10, 20000
+	counts := make([]int, n)
+	for i := 0; i < trials; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(trials) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d count %d deviates from %v", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewStream([]byte("k"), "f64")
+	var sum float64
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / trials; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := NewStream([]byte("k"), "gauss")
+	const trials = 20000
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := NewStream([]byte("k"), "perm")
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := s.Perm(n)
+		if len(p) != n || !IsPerm(p) {
+			t.Fatalf("Perm(%d) = %v not a permutation", n, p)
+		}
+	}
+}
+
+func TestPermDeterminism(t *testing.T) {
+	a := NewStream([]byte("shared"), "r1").Perm(50)
+	b := NewStream([]byte("shared"), "r1").Perm(50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same key+label produced different permutations")
+		}
+	}
+	c := NewStream([]byte("shared"), "r2").Perm(50)
+	diff := 0
+	for i := range a {
+		if a[i] != c[i] {
+			diff++
+		}
+	}
+	if diff < 25 {
+		t.Fatalf("permutations for different rounds too similar: %d/50 positions differ", diff)
+	}
+}
+
+func TestInversePermProperty(t *testing.T) {
+	f := func(seed uint32, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		s := NewStream([]byte{byte(seed), byte(seed >> 8), byte(seed >> 16), byte(seed >> 24)}, "prop")
+		p := s.Perm(n)
+		inv := InversePerm(p)
+		if !IsPerm(inv) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if inv[p[i]] != i || p[inv[i]] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPermRejects(t *testing.T) {
+	bad := [][]int{
+		{0, 0},
+		{1, 2},
+		{-1, 0},
+		{0, 2},
+	}
+	for _, p := range bad {
+		if IsPerm(p) {
+			t.Errorf("IsPerm(%v) = true, want false", p)
+		}
+	}
+	if !IsPerm(nil) {
+		t.Error("IsPerm(nil) should be true (empty permutation)")
+	}
+}
+
+func TestShuffleMatchesPermSemantics(t *testing.T) {
+	s := NewStream([]byte("k"), "shuffle")
+	vals := []int{10, 20, 30, 40, 50}
+	orig := append([]int(nil), vals...)
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	// Multiset must be preserved.
+	seen := map[int]int{}
+	for _, v := range vals {
+		seen[v]++
+	}
+	for _, v := range orig {
+		if seen[v] != 1 {
+			t.Fatalf("Shuffle lost/duplicated elements: %v", vals)
+		}
+	}
+}
+
+func TestBytesChunking(t *testing.T) {
+	// Reading N bytes one at a time must equal reading N at once.
+	one := NewStream([]byte("k"), "chunks")
+	all := NewStream([]byte("k"), "chunks")
+	buf := make([]byte, 100)
+	all.Bytes(buf)
+	for i := 0; i < 100; i++ {
+		var b [1]byte
+		one.Bytes(b[:])
+		if b[0] != buf[i] {
+			t.Fatalf("byte %d differs between chunked and bulk reads", i)
+		}
+	}
+}

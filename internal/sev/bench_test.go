@@ -1,0 +1,83 @@
+package sev
+
+import "testing"
+
+func benchPlatform(b *testing.B) (*Vendor, *Platform) {
+	b.Helper()
+	v, err := NewVendor()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := NewPlatform("bench-host", v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return v, p
+}
+
+func BenchmarkAttestCVM(b *testing.B) {
+	_, p := benchPlatform(b)
+	cvm, err := p.LaunchCVM(goodOVMF)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nonce := []byte("bench-nonce-0123456789abcdef0123")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.AttestCVM(cvm, 0, nonce); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyReport(b *testing.B) {
+	v, p := benchPlatform(b)
+	cvm, _ := p.LaunchCVM(goodOVMF)
+	nonce := []byte("bench-nonce-0123456789abcdef0123")
+	r, err := p.AttestCVM(cvm, 0, nonce)
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := v.RAS().RootCert()
+	want := Measure(goodOVMF)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := VerifyReport(r, root, want, nonce); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChainVerify(b *testing.B) {
+	v, p := benchPlatform(b)
+	chain := p.Chain()
+	root := v.RAS().RootCert()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := chain.Verify(root); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLaunchAndInject(b *testing.B) {
+	_, p := benchPlatform(b)
+	secret := []byte("ecdsa-token-material-placeholder")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cvm, err := p.LaunchCVM(goodOVMF)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cvm.InjectLaunchSecret(secret); err != nil {
+			b.Fatal(err)
+		}
+		if err := cvm.Resume(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

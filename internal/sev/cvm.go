@@ -1,0 +1,171 @@
+package sev
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// CVMState tracks the confidential VM launch lifecycle. The paused state is
+// the point where SEV's LAUNCH_SECRET flow injects owner secrets before the
+// guest runs (paper §4.3, Phase I).
+type CVMState int
+
+// CVM lifecycle states.
+const (
+	StateCreated CVMState = iota
+	StateLaunchPaused
+	StateRunning
+	StateTerminated
+)
+
+func (s CVMState) String() string {
+	switch s {
+	case StateCreated:
+		return "created"
+	case StateLaunchPaused:
+		return "launch-paused"
+	case StateRunning:
+		return "running"
+	case StateTerminated:
+		return "terminated"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Lifecycle errors.
+var (
+	ErrBadState   = errors.New("sev: operation invalid in current CVM state")
+	ErrNoSecret   = errors.New("sev: no secret injected")
+	ErrTerminated = errors.New("sev: CVM terminated")
+)
+
+// CVM is one confidential VM: an ASID, a memory encryption key (VEK) held
+// by the secure processor, the launch measurement of its firmware, and an
+// encrypted secret region.
+type CVM struct {
+	ASID     int
+	platform *Platform
+
+	mu          sync.Mutex
+	state       CVMState
+	measurement [32]byte
+
+	aead interface {
+		Seal(dst, nonce, plaintext, additionalData []byte) []byte
+		Open(dst, nonce, ciphertext, additionalData []byte) ([]byte, error)
+	}
+	secretCT []byte // nonce || AES-GCM ciphertext of the injected secret
+}
+
+// Measure computes the launch measurement of a firmware image, as the
+// secure processor would during LAUNCH_MEASURE.
+func Measure(ovmf []byte) [32]byte { return sha256.Sum256(ovmf) }
+
+// LaunchCVM starts the launch of a CVM running the given OVMF firmware
+// image and pauses it awaiting secret injection. This models
+// LAUNCH_START/LAUNCH_UPDATE/LAUNCH_MEASURE with the pause described in
+// the paper's Phase I.
+func (p *Platform) LaunchCVM(ovmf []byte) (*CVM, error) {
+	aead, _, err := newVEK()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextID++
+	cvm := &CVM{
+		ASID:        p.nextID,
+		platform:    p,
+		state:       StateLaunchPaused,
+		measurement: Measure(ovmf),
+		aead:        aead,
+	}
+	p.cvms[cvm.ASID] = cvm
+	return cvm, nil
+}
+
+// State returns the CVM's lifecycle state.
+func (c *CVM) State() CVMState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Measurement returns the launch measurement.
+func (c *CVM) Measurement() [32]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.measurement
+}
+
+// InjectLaunchSecret encrypts the secret into the CVM's memory with its
+// VEK. Only legal while the launch is paused — exactly the
+// sev-inject-launch-secret flow the paper patches QEMU for.
+func (c *CVM) InjectLaunchSecret(secret []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StateLaunchPaused {
+		return fmt.Errorf("%w: inject in %s", ErrBadState, c.state)
+	}
+	nonce := make([]byte, 12)
+	if _, err := rand.Read(nonce); err != nil {
+		return err
+	}
+	ct := c.aead.Seal(nil, nonce, secret, []byte("launch-secret"))
+	c.secretCT = append(nonce, ct...)
+	return nil
+}
+
+// Resume completes the launch; the guest starts running.
+func (c *CVM) Resume() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StateLaunchPaused {
+		return fmt.Errorf("%w: resume in %s", ErrBadState, c.state)
+	}
+	c.state = StateRunning
+	return nil
+}
+
+// Terminate stops the CVM and destroys its VEK-protected contents.
+func (c *CVM) Terminate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.state = StateTerminated
+	c.secretCT = nil
+}
+
+// GuestReadSecret is what code running *inside* the CVM sees: the secure
+// processor transparently decrypts the secret region. Only available while
+// running.
+func (c *CVM) GuestReadSecret() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == StateTerminated {
+		return nil, ErrTerminated
+	}
+	if c.state != StateRunning {
+		return nil, fmt.Errorf("%w: guest read in %s", ErrBadState, c.state)
+	}
+	if c.secretCT == nil {
+		return nil, ErrNoSecret
+	}
+	nonce, ct := c.secretCT[:12], c.secretCT[12:]
+	pt, err := c.aead.Open(nil, nonce, ct, []byte("launch-secret"))
+	if err != nil {
+		return nil, fmt.Errorf("sev: guest decrypt: %w", err)
+	}
+	return pt, nil
+}
+
+// HostReadMemory is what the *hypervisor* sees when it reads the secret
+// region: ciphertext only. This models SEV's defense against privileged
+// host administrators.
+func (c *CVM) HostReadMemory() []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]byte(nil), c.secretCT...)
+}

@@ -1,0 +1,71 @@
+package sev
+
+import "testing"
+
+func TestEndorseFlow(t *testing.T) {
+	v, err := NewVendor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, pub, err := GenerateVCEK()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := v.Endorse("factory-host", pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chain.Verify(v.RAS().RootCert()); err != nil {
+		t.Fatalf("endorsed chain invalid: %v", err)
+	}
+	p, err := NewEndorsedPlatform("factory-host", chain, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The endorsed platform must produce verifiable reports.
+	cvm, err := p.LaunchCVM(goodOVMF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := []byte("endorse-nonce")
+	r, err := p.AttestCVM(cvm, 0, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyReport(r, v.RAS().RootCert(), Measure(goodOVMF), nonce); err != nil {
+		t.Fatalf("report from endorsed platform rejected: %v", err)
+	}
+}
+
+func TestEndorseEmptyKeyRejected(t *testing.T) {
+	v, _ := NewVendor()
+	if _, err := v.Endorse("x", nil); err == nil {
+		t.Fatal("empty key endorsed")
+	}
+}
+
+func TestNewEndorsedPlatformKeyMismatch(t *testing.T) {
+	v, _ := NewVendor()
+	_, pub, _ := GenerateVCEK()
+	chain, err := v.Endorse("h", pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _, _ := GenerateVCEK()
+	if _, err := NewEndorsedPlatform("h", chain, other); err == nil {
+		t.Fatal("mismatched key accepted")
+	}
+}
+
+func TestEndorsedChainFromForeignVendorRejected(t *testing.T) {
+	v1, _ := NewVendor()
+	v2, _ := NewVendor()
+	_, pub, _ := GenerateVCEK()
+	chain, err := v2.Endorse("h", pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chain.Verify(v1.RAS().RootCert()); err == nil {
+		t.Fatal("foreign-vendor endorsement accepted")
+	}
+}

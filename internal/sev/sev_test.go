@@ -1,0 +1,242 @@
+package sev
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"errors"
+	"testing"
+)
+
+var goodOVMF = []byte("OVMF firmware image v1.0 -- trusted aggregator build")
+
+func testVendorPlatform(t *testing.T) (*Vendor, *Platform) {
+	t.Helper()
+	v, err := NewVendor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlatform("epyc-7642-host1", v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, p
+}
+
+func TestChainVerifies(t *testing.T) {
+	v, p := testVendorPlatform(t)
+	if err := p.Chain().Verify(v.RAS().RootCert()); err != nil {
+		t.Fatalf("genuine chain rejected: %v", err)
+	}
+}
+
+func TestChainRejectsForeignRoot(t *testing.T) {
+	_, p := testVendorPlatform(t)
+	other, err := NewVendor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Chain().Verify(other.RAS().RootCert()); err == nil {
+		t.Fatal("chain accepted under foreign root")
+	}
+}
+
+func TestChainRejectsTamperedVCEK(t *testing.T) {
+	v, p := testVendorPlatform(t)
+	ch := p.Chain()
+	// Swap in an attacker-generated VCEK key without a valid ASK signature.
+	attacker, _ := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	pub, _ := x509.MarshalPKIXPublicKey(&attacker.PublicKey)
+	ch.VCEK.PubKey = pub
+	if err := ch.Verify(v.RAS().RootCert()); err == nil {
+		t.Fatal("tampered VCEK accepted")
+	}
+}
+
+func TestChainRejectsTamperedASK(t *testing.T) {
+	v, p := testVendorPlatform(t)
+	ch := p.Chain()
+	ch.ASK.Subject = "ASK-evil"
+	if err := ch.Verify(v.RAS().RootCert()); err == nil {
+		t.Fatal("tampered ASK accepted")
+	}
+}
+
+func TestCVMLifecycle(t *testing.T) {
+	_, p := testVendorPlatform(t)
+	cvm, err := p.LaunchCVM(goodOVMF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cvm.State() != StateLaunchPaused {
+		t.Fatalf("state after launch = %v", cvm.State())
+	}
+	if cvm.Measurement() != Measure(goodOVMF) {
+		t.Fatal("measurement mismatch")
+	}
+	// Guest cannot read secrets before running.
+	if _, err := cvm.GuestReadSecret(); err == nil {
+		t.Fatal("guest read allowed while paused")
+	}
+	secret := []byte("ecdsa-auth-token")
+	if err := cvm.InjectLaunchSecret(secret); err != nil {
+		t.Fatal(err)
+	}
+	if err := cvm.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if cvm.State() != StateRunning {
+		t.Fatalf("state after resume = %v", cvm.State())
+	}
+	got, err := cvm.GuestReadSecret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("guest secret corrupted")
+	}
+	// Cannot inject after resume.
+	if err := cvm.InjectLaunchSecret([]byte("x")); !errors.Is(err, ErrBadState) {
+		t.Fatalf("late injection: err = %v, want ErrBadState", err)
+	}
+	// Cannot resume twice.
+	if err := cvm.Resume(); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double resume: err = %v", err)
+	}
+	cvm.Terminate()
+	if _, err := cvm.GuestReadSecret(); !errors.Is(err, ErrTerminated) {
+		t.Fatalf("read after terminate: err = %v", err)
+	}
+}
+
+func TestGuestReadWithoutSecret(t *testing.T) {
+	_, p := testVendorPlatform(t)
+	cvm, _ := p.LaunchCVM(goodOVMF)
+	_ = cvm.Resume()
+	if _, err := cvm.GuestReadSecret(); !errors.Is(err, ErrNoSecret) {
+		t.Fatalf("err = %v, want ErrNoSecret", err)
+	}
+}
+
+func TestHypervisorSeesOnlyCiphertext(t *testing.T) {
+	_, p := testVendorPlatform(t)
+	cvm, _ := p.LaunchCVM(goodOVMF)
+	secret := []byte("super-secret-ecdsa-key-material")
+	if err := cvm.InjectLaunchSecret(secret); err != nil {
+		t.Fatal(err)
+	}
+	hostView := cvm.HostReadMemory()
+	if bytes.Contains(hostView, secret) {
+		t.Fatal("plaintext secret visible to hypervisor")
+	}
+	if len(hostView) == 0 {
+		t.Fatal("host view empty; secret not stored")
+	}
+}
+
+func TestVEKsDifferAcrossCVMs(t *testing.T) {
+	_, p := testVendorPlatform(t)
+	a, _ := p.LaunchCVM(goodOVMF)
+	b, _ := p.LaunchCVM(goodOVMF)
+	secret := []byte("same-secret")
+	_ = a.InjectLaunchSecret(secret)
+	_ = b.InjectLaunchSecret(secret)
+	if a.ASID == b.ASID {
+		t.Fatal("ASIDs must be unique")
+	}
+	if bytes.Equal(a.HostReadMemory(), b.HostReadMemory()) {
+		t.Fatal("two CVMs encrypted identical secret to identical ciphertext; VEK reuse")
+	}
+}
+
+func TestAttestationReportVerifies(t *testing.T) {
+	v, p := testVendorPlatform(t)
+	cvm, _ := p.LaunchCVM(goodOVMF)
+	nonce := []byte("ap-nonce-123")
+	r, err := p.AttestCVM(cvm, 0x1, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyReport(r, v.RAS().RootCert(), Measure(goodOVMF), nonce); err != nil {
+		t.Fatalf("genuine report rejected: %v", err)
+	}
+}
+
+func TestAttestationDetectsWrongFirmware(t *testing.T) {
+	v, p := testVendorPlatform(t)
+	evil := append([]byte(nil), goodOVMF...)
+	evil[0] ^= 0xFF // tampered firmware (e.g. collusion code)
+	cvm, _ := p.LaunchCVM(evil)
+	nonce := []byte("n")
+	r, _ := p.AttestCVM(cvm, 0, nonce)
+	err := VerifyReport(r, v.RAS().RootCert(), Measure(goodOVMF), nonce)
+	if !errors.Is(err, ErrBadMeasurement) {
+		t.Fatalf("err = %v, want ErrBadMeasurement", err)
+	}
+}
+
+func TestAttestationDetectsTamperedReport(t *testing.T) {
+	v, p := testVendorPlatform(t)
+	cvm, _ := p.LaunchCVM(goodOVMF)
+	nonce := []byte("n")
+	r, _ := p.AttestCVM(cvm, 0, nonce)
+	// Adversary rewrites the measurement to impersonate good firmware.
+	r.Measurement = Measure(goodOVMF)
+	r.PlatformName = "spoofed"
+	err := VerifyReport(r, v.RAS().RootCert(), Measure(goodOVMF), nonce)
+	if !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestAttestationDetectsNonceReplay(t *testing.T) {
+	v, p := testVendorPlatform(t)
+	cvm, _ := p.LaunchCVM(goodOVMF)
+	r, _ := p.AttestCVM(cvm, 0, []byte("old-nonce"))
+	err := VerifyReport(r, v.RAS().RootCert(), Measure(goodOVMF), []byte("fresh-nonce"))
+	if !errors.Is(err, ErrBadNonce) {
+		t.Fatalf("err = %v, want ErrBadNonce", err)
+	}
+}
+
+func TestAttestationRejectsForeignPlatform(t *testing.T) {
+	v, _ := testVendorPlatform(t)
+	otherVendor, _ := NewVendor()
+	foreignPlatform, _ := NewPlatform("foreign", otherVendor)
+	cvm, _ := foreignPlatform.LaunchCVM(goodOVMF)
+	nonce := []byte("n")
+	r, _ := foreignPlatform.AttestCVM(cvm, 0, nonce)
+	if err := VerifyReport(r, v.RAS().RootCert(), Measure(goodOVMF), nonce); err == nil {
+		t.Fatal("report from foreign vendor accepted")
+	}
+}
+
+func TestAttestAfterTerminate(t *testing.T) {
+	_, p := testVendorPlatform(t)
+	cvm, _ := p.LaunchCVM(goodOVMF)
+	cvm.Terminate()
+	if _, err := p.AttestCVM(cvm, 0, nil); !errors.Is(err, ErrBadState) {
+		t.Fatalf("err = %v, want ErrBadState", err)
+	}
+}
+
+func TestVerifyNilReport(t *testing.T) {
+	v, _ := testVendorPlatform(t)
+	if err := VerifyReport(nil, v.RAS().RootCert(), [32]byte{}, nil); err == nil {
+		t.Fatal("nil report accepted")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[CVMState]string{
+		StateCreated: "created", StateLaunchPaused: "launch-paused",
+		StateRunning: "running", StateTerminated: "terminated",
+		CVMState(99): "state(99)",
+	} {
+		if s.String() != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package tdx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+var tdImage = []byte("deta aggregator TD image v1")
+
+func vendorPlatform(t *testing.T) (*Vendor, *Platform) {
+	t.Helper()
+	v, err := NewVendor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPlatform("tdx-host", v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v, p
+}
+
+func TestChainVerifies(t *testing.T) {
+	v, p := vendorPlatform(t)
+	if err := p.chain.Verify(v.RootCert()); err != nil {
+		t.Fatalf("genuine chain rejected: %v", err)
+	}
+}
+
+func TestChainForeignRootRejected(t *testing.T) {
+	_, p := vendorPlatform(t)
+	other, err := NewVendor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.chain.Verify(other.RootCert()); err == nil {
+		t.Fatal("foreign root accepted")
+	}
+}
+
+func TestTDLifecycle(t *testing.T) {
+	_, p := vendorPlatform(t)
+	td := p.CreateTD(tdImage)
+	if td.State() != TDBuilding {
+		t.Fatalf("state = %d", td.State())
+	}
+	if _, err := td.GuestReadSecret(); !errors.Is(err, ErrBadState) {
+		t.Fatalf("read while building: %v", err)
+	}
+	secret := []byte("token-material")
+	if err := td.ProvisionSecret(secret); err != nil {
+		t.Fatal(err)
+	}
+	if err := td.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := td.Finalize(); !errors.Is(err, ErrBadState) {
+		t.Fatalf("double finalize: %v", err)
+	}
+	if err := td.ProvisionSecret(secret); !errors.Is(err, ErrBadState) {
+		t.Fatalf("provision after finalize: %v", err)
+	}
+	got, err := td.GuestReadSecret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("secret corrupted")
+	}
+}
+
+func TestGuestReadWithoutSecret(t *testing.T) {
+	_, p := vendorPlatform(t)
+	td := p.CreateTD(tdImage)
+	_ = td.Finalize()
+	if _, err := td.GuestReadSecret(); !errors.Is(err, ErrNoSecret) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQuoteVerifies(t *testing.T) {
+	v, p := vendorPlatform(t)
+	td := p.CreateTD(tdImage)
+	nonce := []byte("tdx-nonce")
+	q, err := p.QuoteTD(td, 5, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyQuote(q, v.RootCert(), MeasureTD(tdImage), nonce, 3); err != nil {
+		t.Fatalf("genuine quote rejected: %v", err)
+	}
+}
+
+func TestQuoteRejectsWrongImage(t *testing.T) {
+	v, p := vendorPlatform(t)
+	evil := append([]byte(nil), tdImage...)
+	evil[0] ^= 1
+	td := p.CreateTD(evil)
+	nonce := []byte("n")
+	q, _ := p.QuoteTD(td, 5, nonce)
+	if err := VerifyQuote(q, v.RootCert(), MeasureTD(tdImage), nonce, 0); !errors.Is(err, ErrBadMeasurement) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQuoteRejectsTampering(t *testing.T) {
+	v, p := vendorPlatform(t)
+	td := p.CreateTD(tdImage)
+	nonce := []byte("n")
+	q, _ := p.QuoteTD(td, 5, nonce)
+	q.TCBLevel = 99
+	if err := VerifyQuote(q, v.RootCert(), MeasureTD(tdImage), nonce, 0); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQuoteRejectsStaleNonce(t *testing.T) {
+	v, p := vendorPlatform(t)
+	td := p.CreateTD(tdImage)
+	q, _ := p.QuoteTD(td, 5, []byte("old"))
+	if err := VerifyQuote(q, v.RootCert(), MeasureTD(tdImage), []byte("new"), 0); !errors.Is(err, ErrBadNonce) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQuoteRejectsLowTCB(t *testing.T) {
+	v, p := vendorPlatform(t)
+	td := p.CreateTD(tdImage)
+	nonce := []byte("n")
+	q, _ := p.QuoteTD(td, 2, nonce)
+	if err := VerifyQuote(q, v.RootCert(), MeasureTD(tdImage), nonce, 5); !errors.Is(err, ErrTCBOutOfDate) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyNilQuote(t *testing.T) {
+	v, _ := vendorPlatform(t)
+	if err := VerifyQuote(nil, v.RootCert(), Measurement{}, nil, 0); err == nil {
+		t.Fatal("nil quote accepted")
+	}
+}

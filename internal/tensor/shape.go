@@ -1,0 +1,89 @@
+package tensor
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Shape describes the dimensions of one named parameter block inside a model
+// (e.g. a conv kernel or a bias vector). DeTA aggregators never see shapes —
+// fragments travel as anonymous flat vectors — but parties need them to
+// flatten and rebuild their local models.
+type Shape struct {
+	Name string
+	Dims []int
+}
+
+// Size returns the number of elements the shape spans.
+func (s Shape) Size() int {
+	if len(s.Dims) == 0 {
+		return 0
+	}
+	n := 1
+	for _, d := range s.Dims {
+		n *= d
+	}
+	return n
+}
+
+func (s Shape) String() string { return fmt.Sprintf("%s%v", s.Name, s.Dims) }
+
+// Layout is an ordered list of parameter-block shapes. It defines how a
+// model's parameter blocks map into one flat vector.
+type Layout []Shape
+
+// TotalSize returns the length of the flat vector the layout describes.
+func (l Layout) TotalSize() int {
+	n := 0
+	for _, s := range l {
+		n += s.Size()
+	}
+	return n
+}
+
+// Offsets returns the starting index of each block in the flat vector.
+func (l Layout) Offsets() []int {
+	offs := make([]int, len(l))
+	n := 0
+	for i, s := range l {
+		offs[i] = n
+		n += s.Size()
+	}
+	return offs
+}
+
+// Flatten concatenates blocks into one flat vector following the layout.
+func (l Layout) Flatten(blocks [][]float64) (Vector, error) {
+	if len(blocks) != len(l) {
+		return nil, fmt.Errorf("tensor: layout has %d blocks, got %d", len(l), len(blocks))
+	}
+	out := make(Vector, 0, l.TotalSize())
+	for i, b := range blocks {
+		if len(b) != l[i].Size() {
+			return nil, fmt.Errorf("tensor: block %d (%s) has %d elements, want %d",
+				i, l[i].Name, len(b), l[i].Size())
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// Split cuts a flat vector back into per-block slices. The returned slices
+// alias v; callers that need independent storage must copy.
+func (l Layout) Split(v Vector) ([][]float64, error) {
+	if len(v) != l.TotalSize() {
+		return nil, fmt.Errorf("tensor: vector length %d does not match layout size %d",
+			len(v), l.TotalSize())
+	}
+	out := make([][]float64, len(l))
+	at := 0
+	for i, s := range l {
+		sz := s.Size()
+		out[i] = v[at : at+sz]
+		at += sz
+	}
+	return out, nil
+}
+
+// ErrEmptyLayout is returned when an operation requires a non-empty layout.
+var ErrEmptyLayout = errors.New("tensor: empty layout")

@@ -1,0 +1,309 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAddSub(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{4, 5, 6}
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum[0] != 5 || sum[1] != 7 || sum[2] != 9 {
+		t.Fatalf("Add = %v", sum)
+	}
+	diff, err := Sub(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff[0] != 3 || diff[1] != 3 || diff[2] != 3 {
+		t.Fatalf("Sub = %v", diff)
+	}
+}
+
+func TestLengthMismatch(t *testing.T) {
+	a := Vector{1}
+	b := Vector{1, 2}
+	if _, err := Add(a, b); err == nil {
+		t.Error("Add: want error on mismatched lengths")
+	}
+	if _, err := Sub(a, b); err == nil {
+		t.Error("Sub: want error")
+	}
+	if _, err := Dot(a, b); err == nil {
+		t.Error("Dot: want error")
+	}
+	if _, err := MSE(a, b); err == nil {
+		t.Error("MSE: want error")
+	}
+	if _, err := CosineDistance(a, b); err == nil {
+		t.Error("CosineDistance: want error")
+	}
+	if err := AddInPlace(a, b); err == nil {
+		t.Error("AddInPlace: want error")
+	}
+	if err := AXPY(1, a, b); err == nil {
+		t.Error("AXPY: want error")
+	}
+	if _, err := L2Distance(a, b); err == nil {
+		t.Error("L2Distance: want error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := a.Clone()
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestScaleAndAXPY(t *testing.T) {
+	v := Vector{1, -2, 3}
+	s := Scale(2, v)
+	if s[0] != 2 || s[1] != -4 || s[2] != 6 {
+		t.Fatalf("Scale = %v", s)
+	}
+	if v[0] != 1 {
+		t.Fatal("Scale mutated input")
+	}
+	a := Vector{1, 1, 1}
+	if err := AXPY(3, a, v); err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 4 || a[1] != -5 || a[2] != 10 {
+		t.Fatalf("AXPY = %v", a)
+	}
+}
+
+func TestNormDot(t *testing.T) {
+	v := Vector{3, 4}
+	if !almostEq(Norm(v), 5) {
+		t.Fatalf("Norm = %v", Norm(v))
+	}
+	if !almostEq(NormSq(v), 25) {
+		t.Fatalf("NormSq = %v", NormSq(v))
+	}
+	d, err := Dot(v, Vector{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d, 11) {
+		t.Fatalf("Dot = %v", d)
+	}
+}
+
+func TestCosineDistance(t *testing.T) {
+	a := Vector{1, 0}
+	cases := []struct {
+		b    Vector
+		want float64
+	}{
+		{Vector{1, 0}, 0},
+		{Vector{0, 1}, 1},
+		{Vector{-1, 0}, 2},
+		{Vector{0, 0}, 1}, // zero vector defined as distance 1
+	}
+	for _, c := range cases {
+		got, err := CosineDistance(a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(got, c.want) {
+			t.Errorf("CosineDistance(%v, %v) = %v, want %v", a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMSE(t *testing.T) {
+	got, err := MSE(Vector{0, 0}, Vector{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(got, 12.5) {
+		t.Fatalf("MSE = %v", got)
+	}
+	z, err := MSE(Vector{}, Vector{})
+	if err != nil || z != 0 {
+		t.Fatalf("MSE empty = %v, %v", z, err)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	v := Vector{1, 2, 3, 4}
+	if !almostEq(Mean(v), 2.5) {
+		t.Fatalf("Mean = %v", Mean(v))
+	}
+	if !almostEq(Variance(v), 1.25) {
+		t.Fatalf("Variance = %v", Variance(v))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty-vector stats should be 0")
+	}
+}
+
+func TestClipClampSign(t *testing.T) {
+	v := Vector{-5, -0.5, 0, 0.5, 5}
+	Clip(v, 1)
+	want := Vector{-1, -0.5, 0, 0.5, 1}
+	for i := range v {
+		if v[i] != want[i] {
+			t.Fatalf("Clip = %v", v)
+		}
+	}
+	u := Vector{-1, 0.2, 2}
+	ClampRange(u, 0, 1)
+	if u[0] != 0 || u[1] != 0.2 || u[2] != 1 {
+		t.Fatalf("ClampRange = %v", u)
+	}
+	s := Sign(Vector{-3, 0, 7})
+	if s[0] != -1 || s[1] != 0 || s[2] != 1 {
+		t.Fatalf("Sign = %v", s)
+	}
+}
+
+func TestWeightedSum(t *testing.T) {
+	vs := []Vector{{1, 2}, {3, 4}}
+	out, err := WeightedSum(vs, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(out[0], 2) || !almostEq(out[1], 3) {
+		t.Fatalf("WeightedSum = %v", out)
+	}
+	if _, err := WeightedSum(nil, nil); err == nil {
+		t.Error("want error on empty input")
+	}
+	if _, err := WeightedSum(vs, []float64{1}); err == nil {
+		t.Error("want error on weight count mismatch")
+	}
+	if _, err := WeightedSum([]Vector{{1}, {1, 2}}, []float64{1, 1}); err == nil {
+		t.Error("want error on ragged vectors")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !IsFinite(Vector{1, 2, 3}) {
+		t.Error("finite vector reported non-finite")
+	}
+	if IsFinite(Vector{1, math.NaN()}) {
+		t.Error("NaN not detected")
+	}
+	if IsFinite(Vector{math.Inf(1)}) {
+		t.Error("Inf not detected")
+	}
+}
+
+// Property: Add is commutative and Sub(Add(a,b),b) == a.
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(raw []float64) bool {
+		a := Vector(raw).Clone()
+		b := make(Vector, len(a))
+		for i := range b {
+			b[i] = float64(i) * 0.37
+		}
+		sum, err := Add(a, b)
+		if err != nil {
+			return false
+		}
+		back, err := Sub(sum, b)
+		if err != nil {
+			return false
+		}
+		for i := range a {
+			if math.Abs(back[i]-a[i]) > 1e-9*(1+math.Abs(a[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MSE is symmetric and zero iff identical.
+func TestMSEProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		a := Vector(raw)
+		for _, x := range a {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true // skip pathological float inputs
+			}
+		}
+		self, err := MSE(a, a)
+		if err != nil || self != 0 {
+			return false
+		}
+		b := a.Clone()
+		for i := range b {
+			b[i] += 1
+		}
+		ab, err1 := MSE(a, b)
+		ba, err2 := MSE(b, a)
+		return err1 == nil && err2 == nil && almostEq(ab, ba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutFlattenSplit(t *testing.T) {
+	l := Layout{
+		{Name: "w1", Dims: []int{2, 3}},
+		{Name: "b1", Dims: []int{3}},
+	}
+	if l.TotalSize() != 9 {
+		t.Fatalf("TotalSize = %d", l.TotalSize())
+	}
+	offs := l.Offsets()
+	if offs[0] != 0 || offs[1] != 6 {
+		t.Fatalf("Offsets = %v", offs)
+	}
+	blocks := [][]float64{{1, 2, 3, 4, 5, 6}, {7, 8, 9}}
+	v, err := l.Flatten(blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 9 || v[6] != 7 {
+		t.Fatalf("Flatten = %v", v)
+	}
+	back, err := l.Split(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[1][2] != 9 {
+		t.Fatalf("Split = %v", back)
+	}
+	// Error cases.
+	if _, err := l.Flatten([][]float64{{1}}); err == nil {
+		t.Error("Flatten: want error on block count mismatch")
+	}
+	if _, err := l.Flatten([][]float64{{1}, {7, 8, 9}}); err == nil {
+		t.Error("Flatten: want error on block size mismatch")
+	}
+	if _, err := l.Split(Vector{1, 2}); err == nil {
+		t.Error("Split: want error on length mismatch")
+	}
+}
+
+func TestShapeSize(t *testing.T) {
+	if (Shape{Name: "x", Dims: []int{4, 5}}).Size() != 20 {
+		t.Error("Size of 4x5 should be 20")
+	}
+	if (Shape{Name: "empty"}).Size() != 0 {
+		t.Error("empty shape should have size 0")
+	}
+	s := Shape{Name: "w", Dims: []int{2, 2}}
+	if s.String() != "w[2 2]" {
+		t.Errorf("String = %q", s.String())
+	}
+}

@@ -1,0 +1,39 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameRoundTrip: any request written must read back identically, and
+// arbitrary junk must never panic the frame reader.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add("method", []byte("body"), uint64(1))
+	f.Add("", []byte{}, uint64(0))
+	f.Add("deta.Upload", []byte{0xFF, 0x00, 0x01}, uint64(1<<40))
+	f.Fuzz(func(t *testing.T, method string, body []byte, id uint64) {
+		var buf bytes.Buffer
+		in := request{ID: id, Method: method, Body: body}
+		if err := writeFrame(&buf, &in); err != nil {
+			t.Fatal(err)
+		}
+		var out request
+		if err := readFrame(&buf, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.ID != in.ID || out.Method != in.Method || !bytes.Equal(out.Body, in.Body) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", in, out)
+		}
+	})
+}
+
+// FuzzFrameGarbage: arbitrary bytes on the wire must error cleanly.
+func FuzzFrameGarbage(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 42})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var req request
+		_ = readFrame(bytes.NewReader(raw), &req) // must not panic
+	})
+}

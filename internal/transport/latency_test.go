@@ -1,0 +1,52 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyConnDelaysCalls(t *testing.T) {
+	s := NewServer()
+	HandleTyped(s, "echo", func(x int) (int, error) { return x, nil })
+	ln := NewMemListener()
+	go s.Serve(&LatencyListener{Listener: ln, Delay: 2 * time.Millisecond})
+	defer s.Close()
+
+	conn, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(WithLatency(conn, 2*time.Millisecond))
+	defer c.Close()
+
+	start := time.Now()
+	const calls = 5
+	for i := 0; i < calls; i++ {
+		got, err := CallTyped[int, int](c, "echo", i)
+		if err != nil || got != i {
+			t.Fatalf("call %d: %v, %v", i, got, err)
+		}
+	}
+	elapsed := time.Since(start)
+	// Each call pays >= 4ms (client write + server write).
+	if min := calls * 4 * time.Millisecond; elapsed < min {
+		t.Fatalf("elapsed %v, want >= %v with injected latency", elapsed, min)
+	}
+}
+
+func TestZeroLatencyPassthrough(t *testing.T) {
+	ln := NewMemListener()
+	defer ln.Close()
+	wrapped := WithListenerLatency(ln, 0)
+	go func() {
+		conn, _ := ln.Dial()
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	conn, err := wrapped.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+}

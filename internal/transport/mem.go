@@ -1,0 +1,68 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// MemListener is an in-process net.Listener backed by net.Pipe, so protocol
+// code can be exercised without sockets. Dial returns the client half of a
+// fresh pipe whose server half is delivered to Accept.
+type MemListener struct {
+	mu     sync.Mutex
+	ch     chan net.Conn
+	closed bool
+}
+
+// NewMemListener returns an open in-memory listener.
+func NewMemListener() *MemListener {
+	return &MemListener{ch: make(chan net.Conn, 16)}
+}
+
+// Dial creates a connection to the listener.
+func (l *MemListener) Dial() (net.Conn, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, errors.New("transport: listener closed")
+	}
+	l.mu.Unlock()
+	client, server := net.Pipe()
+	select {
+	case l.ch <- server:
+		return client, nil
+	default:
+		client.Close()
+		server.Close()
+		return nil, errors.New("transport: accept queue full")
+	}
+}
+
+// Accept implements net.Listener.
+func (l *MemListener) Accept() (net.Conn, error) {
+	conn, ok := <-l.ch
+	if !ok {
+		return nil, errors.New("transport: listener closed")
+	}
+	return conn, nil
+}
+
+// Close implements net.Listener.
+func (l *MemListener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.ch)
+	}
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *MemListener) Addr() net.Addr { return memAddr{} }
+
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "mem" }

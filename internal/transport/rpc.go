@@ -1,0 +1,264 @@
+// Package transport is the wire layer of the reproduction: a small
+// request/response RPC protocol (length-prefixed gob frames) over TCP with
+// TLS, standing in for the gRPC+TLS channels of the paper's implementation
+// (§5). It also provides an in-memory listener so protocol tests need no
+// network.
+//
+// Frame format: 4-byte big-endian length, then a gob-encoded envelope.
+// Requests carry a method name and an opaque body; responses carry a body
+// or an error string. Calls on one client are serialized; use one client
+// per concurrent caller.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxFrame bounds a single message (guards against corrupt length
+// prefixes). Model fragments for the largest zoo models fit comfortably.
+const MaxFrame = 1 << 28 // 256 MiB
+
+type request struct {
+	ID     uint64
+	Method string
+	Body   []byte
+}
+
+type response struct {
+	ID   uint64
+	Body []byte
+	Err  string
+}
+
+func writeFrame(w io.Writer, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	if buf.Len() > MaxFrame {
+		return fmt.Errorf("transport: frame of %d bytes exceeds limit", buf.Len())
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("transport: incoming frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
+}
+
+// Handler processes one request body and returns a response body.
+type Handler func(body []byte) ([]byte, error)
+
+// Server dispatches RPC requests to registered handlers.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+
+	lnMu      sync.Mutex
+	listeners []net.Listener
+	conns     map[net.Conn]bool
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]bool)}
+}
+
+// Handle registers a handler for a method name, replacing any previous one.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Serve accepts connections from ln until the listener or server closes.
+// It blocks; run it in a goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	if s.closed {
+		s.lnMu.Unlock()
+		ln.Close()
+		return errors.New("transport: server closed")
+	}
+	s.listeners = append(s.listeners, ln)
+	s.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.lnMu.Lock()
+		if s.closed {
+			s.lnMu.Unlock()
+			conn.Close()
+			return errors.New("transport: server closed")
+		}
+		s.conns[conn] = true
+		s.wg.Add(1)
+		s.lnMu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.lnMu.Lock()
+		delete(s.conns, conn)
+		s.lnMu.Unlock()
+		s.wg.Done()
+	}()
+	for {
+		var req request
+		if err := readFrame(conn, &req); err != nil {
+			return
+		}
+		s.mu.RLock()
+		h, ok := s.handlers[req.Method]
+		s.mu.RUnlock()
+		resp := response{ID: req.ID}
+		if !ok {
+			resp.Err = fmt.Sprintf("transport: unknown method %q", req.Method)
+		} else if body, err := h(req.Body); err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Body = body
+		}
+		if err := writeFrame(conn, &resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close shuts down all listeners and live connections and waits for
+// connection goroutines to finish.
+func (s *Server) Close() {
+	s.lnMu.Lock()
+	s.closed = true
+	for _, ln := range s.listeners {
+		ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.lnMu.Unlock()
+	s.wg.Wait()
+}
+
+// Client issues RPC calls over a single connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	next uint64
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Call sends a request and waits for its response.
+func (c *Client) Call(method string, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	req := request{ID: c.next, Method: method, Body: body}
+	if err := writeFrame(c.conn, &req); err != nil {
+		return nil, fmt.Errorf("transport: send %s: %w", method, err)
+	}
+	var resp response
+	if err := readFrame(c.conn, &resp); err != nil {
+		return nil, fmt.Errorf("transport: recv %s: %w", method, err)
+	}
+	if resp.ID != req.ID {
+		return nil, fmt.Errorf("transport: response ID %d for request %d", resp.ID, req.ID)
+	}
+	if resp.Err != "" {
+		return nil, &RemoteError{Method: method, Msg: resp.Err}
+	}
+	return resp.Body, nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// RemoteError is an error reported by the remote handler.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: remote %s: %s", e.Method, e.Msg)
+}
+
+// Encode gob-encodes v for use as a request or response body.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-decodes body into v.
+func Decode(body []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
+}
+
+// CallTyped performs a Call with gob-encoded request and response values.
+func CallTyped[Req, Resp any](c *Client, method string, req Req) (Resp, error) {
+	var zero Resp
+	body, err := Encode(req)
+	if err != nil {
+		return zero, err
+	}
+	out, err := c.Call(method, body)
+	if err != nil {
+		return zero, err
+	}
+	var resp Resp
+	if err := Decode(out, &resp); err != nil {
+		return zero, err
+	}
+	return resp, nil
+}
+
+// HandleTyped registers a handler taking and returning gob-encoded values.
+func HandleTyped[Req, Resp any](s *Server, method string, h func(Req) (Resp, error)) {
+	s.Handle(method, func(body []byte) ([]byte, error) {
+		var req Req
+		if err := Decode(body, &req); err != nil {
+			return nil, fmt.Errorf("decoding request: %w", err)
+		}
+		resp, err := h(req)
+		if err != nil {
+			return nil, err
+		}
+		return Encode(resp)
+	})
+}

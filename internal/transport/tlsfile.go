@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// On-disk TLS material support for multi-process deployments: the AP mints
+// a CA and server credentials once and writes them to a directory; the
+// aggregator and party binaries load them at startup.
+
+const (
+	caFile   = "ca.pem"
+	certFile = "server-cert.pem"
+	keyFile  = "server-key.pem"
+)
+
+// SaveTLSMaterials mints fresh materials for the given hosts and writes
+// ca.pem, server-cert.pem, server-key.pem into dir (created if needed).
+// The CA private key is intentionally not persisted.
+func SaveTLSMaterials(dir, commonName string, hosts []string) error {
+	m, caDER, srvDER, srvKey, err := newMaterialsDER(commonName, hosts)
+	if err != nil {
+		return err
+	}
+	_ = m
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return err
+	}
+	write := func(name, blockType string, der []byte) error {
+		f, err := os.OpenFile(filepath.Join(dir, name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return pem.Encode(f, &pem.Block{Type: blockType, Bytes: der})
+	}
+	if err := write(caFile, "CERTIFICATE", caDER); err != nil {
+		return err
+	}
+	if err := write(certFile, "CERTIFICATE", srvDER); err != nil {
+		return err
+	}
+	keyDER, err := x509.MarshalECPrivateKey(srvKey)
+	if err != nil {
+		return err
+	}
+	return write(keyFile, "EC PRIVATE KEY", keyDER)
+}
+
+// LoadTLSMaterials reads materials written by SaveTLSMaterials.
+func LoadTLSMaterials(dir string) (*TLSMaterials, error) {
+	caPEM, err := os.ReadFile(filepath.Join(dir, caFile))
+	if err != nil {
+		return nil, fmt.Errorf("transport: reading CA: %w", err)
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(caPEM) {
+		return nil, errors.New("transport: no certificates in " + caFile)
+	}
+	certPEM, err := os.ReadFile(filepath.Join(dir, certFile))
+	if err != nil {
+		return nil, err
+	}
+	keyPEM, err := os.ReadFile(filepath.Join(dir, keyFile))
+	if err != nil {
+		return nil, err
+	}
+	cert, err := tls.X509KeyPair(certPEM, keyPEM)
+	if err != nil {
+		return nil, fmt.Errorf("transport: parsing server key pair: %w", err)
+	}
+	return &TLSMaterials{CAPEMPool: pool, ServerCert: cert}, nil
+}
+
+// newMaterialsDER mints CA + server credentials and returns the DER forms
+// for persistence alongside the assembled TLSMaterials.
+func newMaterialsDER(commonName string, hosts []string) (*TLSMaterials, []byte, []byte, *ecdsa.PrivateKey, error) {
+	caKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	caTpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "deta-ca"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(24 * time.Hour * 365),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	caDER, err := x509.CreateCertificate(rand.Reader, caTpl, caTpl, &caKey.PublicKey, caKey)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	caCert, err := x509.ParseCertificate(caDER)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	srvKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	srvTpl := &x509.Certificate{
+		SerialNumber: big.NewInt(2),
+		Subject:      pkix.Name{CommonName: commonName},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(24 * time.Hour * 365),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			srvTpl.IPAddresses = append(srvTpl.IPAddresses, ip)
+		} else {
+			srvTpl.DNSNames = append(srvTpl.DNSNames, h)
+		}
+	}
+	srvDER, err := x509.CreateCertificate(rand.Reader, srvTpl, caCert, &srvKey.PublicKey, caKey)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	pool := x509.NewCertPool()
+	pool.AddCert(caCert)
+	m := &TLSMaterials{
+		CAPEMPool:  pool,
+		ServerCert: tls.Certificate{Certificate: [][]byte{srvDER}, PrivateKey: srvKey},
+	}
+	return m, caDER, srvDER, srvKey, nil
+}

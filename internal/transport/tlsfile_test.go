@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadTLSMaterials(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveTLSMaterials(dir, "agg-test", []string{"127.0.0.1", "agg.example"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"ca.pem", "server-cert.pem", "server-key.pem"} {
+		info, err := os.Stat(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("%s missing: %v", f, err)
+		}
+		if info.Mode().Perm() != 0o600 {
+			t.Errorf("%s has permissions %v, want 0600", f, info.Mode().Perm())
+		}
+	}
+	m, err := LoadTLSMaterials(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CAPEMPool == nil || len(m.ServerCert.Certificate) == 0 {
+		t.Fatal("loaded materials incomplete")
+	}
+	// Server and client configs assemble.
+	if m.ServerConfig().MinVersion == 0 || m.ClientConfig("agg.example").ServerName != "agg.example" {
+		t.Fatal("config assembly broken")
+	}
+}
+
+func TestLoadTLSMaterialsMissing(t *testing.T) {
+	if _, err := LoadTLSMaterials(t.TempDir()); err == nil {
+		t.Fatal("empty dir loaded")
+	}
+}
+
+func TestLoadTLSMaterialsCorruptCA(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveTLSMaterials(dir, "x", []string{"127.0.0.1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ca.pem"), []byte("garbage"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTLSMaterials(dir); err == nil {
+		t.Fatal("corrupt CA accepted")
+	}
+}
+
+func TestLoadTLSMaterialsCorruptKey(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveTLSMaterials(dir, "x", []string{"127.0.0.1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "server-key.pem"), []byte("garbage"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTLSMaterials(dir); err == nil {
+		t.Fatal("corrupt key accepted")
+	}
+}
+
+func TestRemoteErrorFormat(t *testing.T) {
+	e := &RemoteError{Method: "m", Msg: "boom"}
+	if !strings.Contains(e.Error(), "m") || !strings.Contains(e.Error(), "boom") {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+}
+
+func TestMemAddr(t *testing.T) {
+	ln := NewMemListener()
+	defer ln.Close()
+	if ln.Addr().String() != "mem" || ln.Addr().Network() != "mem" {
+		t.Fatal("unexpected mem address")
+	}
+}
