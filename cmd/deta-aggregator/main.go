@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +33,8 @@ func main() {
 	algorithm := flag.String("algorithm", "avg", "aggregation algorithm: avg | median | trimmed:<k>")
 	initiator := flag.Bool("initiator", false, "act as the round-sync initiator")
 	peers := flag.String("peers", "", "comma-separated follower list id=addr (initiator only)")
+	dialTimeout := flag.Duration("dial-timeout", 30*time.Second, "total budget for dialing the AP and each follower (with backoff)")
+	peerTimeout := flag.Duration("peer-timeout", 2*time.Minute, "deadline for synchronizing one follower's round fusion")
 	flag.Parse()
 
 	log.SetPrefix(fmt.Sprintf("deta-aggregator[%s]: ", *id))
@@ -45,8 +48,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("loading TLS materials: %v", err)
 	}
-	apConn, err := mat.DialTLS(*apAddr, *tlsName)
+	dialCtx, cancelDial := context.WithTimeout(context.Background(), *dialTimeout)
+	apConn, err := mat.DialTLSBackoff(dialCtx, *apAddr, *tlsName, transport.Backoff{Attempts: transport.UnlimitedAttempts})
 	if err != nil {
+		cancelDial()
 		log.Fatalf("dialing AP: %v", err)
 	}
 	ap := &core.APClient{C: apConn}
@@ -85,13 +90,14 @@ func main() {
 	core.ServeAggregator(node, srv)
 
 	if *initiator {
-		followers, err := dialPeers(mat, *peers, *tlsName)
+		followers, err := dialPeers(dialCtx, mat, *peers, *tlsName)
 		if err != nil {
 			log.Fatalf("dialing followers: %v", err)
 		}
-		startInitiatorSync(node, followers)
+		startInitiatorSync(node, followers, *peerTimeout)
 		log.Printf("acting as initiator with %d followers", len(followers))
 	}
+	cancelDial()
 
 	ln, err := mat.ListenTLS(*listen)
 	if err != nil {
@@ -119,7 +125,7 @@ func parseAlgorithm(name string) (agg.Algorithm, error) {
 	return nil, fmt.Errorf("unknown algorithm %q (want avg | median | trimmed:<k>)", name)
 }
 
-func dialPeers(mat *transport.TLSMaterials, spec, tlsName string) (map[string]*core.AggregatorClient, error) {
+func dialPeers(ctx context.Context, mat *transport.TLSMaterials, spec, tlsName string) (map[string]*core.AggregatorClient, error) {
 	out := make(map[string]*core.AggregatorClient)
 	if spec == "" {
 		return out, nil
@@ -129,7 +135,7 @@ func dialPeers(mat *transport.TLSMaterials, spec, tlsName string) (map[string]*c
 		if !ok {
 			return nil, fmt.Errorf("bad peer entry %q (want id=addr)", entry)
 		}
-		c, err := mat.DialTLS(addr, tlsName)
+		c, err := mat.DialTLSBackoff(ctx, addr, tlsName, transport.Backoff{Attempts: transport.UnlimitedAttempts})
 		if err != nil {
 			return nil, fmt.Errorf("dialing follower %s at %s: %w", id, addr, err)
 		}
@@ -139,8 +145,9 @@ func dialPeers(mat *transport.TLSMaterials, spec, tlsName string) (map[string]*c
 }
 
 // startInitiatorSync polls round completeness and, once the local node has
-// all uploads for a round, fuses locally and instructs followers to fuse.
-func startInitiatorSync(node *core.AggregatorNode, followers map[string]*core.AggregatorClient) {
+// all uploads for a round, fuses locally and instructs all followers to
+// fuse concurrently — the sync cost is the slowest follower, not the sum.
+func startInitiatorSync(node *core.AggregatorNode, followers map[string]*core.AggregatorClient, peerTimeout time.Duration) {
 	go func() {
 		synced := make(map[int]bool)
 		round := 1
@@ -149,10 +156,20 @@ func startInitiatorSync(node *core.AggregatorNode, followers map[string]*core.Ag
 				if err := node.Aggregate(round); err != nil {
 					log.Printf("round %d: local aggregate: %v", round, err)
 				}
+				var g core.Group
 				for id, f := range followers {
-					if err := syncFollower(f, round); err != nil {
-						log.Printf("round %d: follower %s: %v", round, id, err)
-					}
+					id, f, round := id, f, round
+					g.Go(func() error {
+						ctx, cancel := context.WithTimeout(context.Background(), peerTimeout)
+						defer cancel()
+						if err := syncFollower(ctx, f, round); err != nil {
+							return fmt.Errorf("follower %s: %w", id, err)
+						}
+						return nil
+					})
+				}
+				if err := g.Wait(); err != nil {
+					log.Printf("round %d: %v", round, err)
 				}
 				log.Printf("round %d fused across %d aggregators", round, len(followers)+1)
 				synced[round] = true
@@ -165,18 +182,20 @@ func startInitiatorSync(node *core.AggregatorNode, followers map[string]*core.Ag
 }
 
 // syncFollower waits for the follower to have all uploads, then triggers
-// its fusion.
-func syncFollower(f *core.AggregatorClient, round int) error {
-	deadline := time.Now().Add(2 * time.Minute)
-	for time.Now().Before(deadline) {
-		done, err := f.Complete(round)
+// its fusion; ctx bounds the whole exchange.
+func syncFollower(ctx context.Context, f *core.AggregatorClient, round int) error {
+	for {
+		done, err := f.Complete(ctx, round)
 		if err != nil {
 			return err
 		}
 		if done {
-			return f.Aggregate(round)
+			return f.Aggregate(ctx, round)
 		}
-		time.Sleep(20 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("waiting for follower uploads: %w", ctx.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
 	}
-	return fmt.Errorf("timeout waiting for follower uploads")
 }

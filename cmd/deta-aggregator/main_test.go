@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestParseAlgorithm(t *testing.T) {
 	cases := map[string]string{
@@ -26,14 +29,14 @@ func TestParseAlgorithm(t *testing.T) {
 }
 
 func TestDialPeersEmpty(t *testing.T) {
-	out, err := dialPeers(nil, "", "name")
+	out, err := dialPeers(context.Background(), nil, "", "name")
 	if err != nil || len(out) != 0 {
 		t.Fatalf("empty spec: %v, %v", out, err)
 	}
 }
 
 func TestDialPeersBadEntry(t *testing.T) {
-	if _, err := dialPeers(nil, "no-equals-sign", "name"); err == nil {
+	if _, err := dialPeers(context.Background(), nil, "no-equals-sign", "name"); err == nil {
 		t.Fatal("malformed peer entry accepted")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"deta/internal/experiments"
 )
@@ -30,10 +31,19 @@ func main() {
 	igIters := flag.Int("ig-iters", 0, "IG iterations")
 	paillierBits := flag.Int("paillier-bits", 0, "Paillier modulus size")
 	aggregators := flag.Int("aggregators", 0, "number of DeTA aggregators")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no watchdog)")
 	flag.Parse()
 
 	log.SetPrefix("deta-bench: ")
 	log.SetFlags(log.Ltime)
+
+	if *timeout > 0 {
+		// Watchdog: a wedged experiment (e.g. an RPC harness waiting on a
+		// dead endpoint) kills the run instead of hanging CI forever.
+		time.AfterFunc(*timeout, func() {
+			log.Fatalf("watchdog: run exceeded -timeout=%v", *timeout)
+		})
+	}
 
 	var sc experiments.Scale
 	switch *scaleName {

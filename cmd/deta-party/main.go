@@ -2,7 +2,10 @@
 // fleet: it registers with the key broker, verifies every aggregator via
 // the Phase II challenge-response, and then trains for the configured
 // number of rounds, uploading partitioned+shuffled fragments and merging
-// the aggregated results.
+// the aggregated results. All per-aggregator RPCs fan out concurrently
+// through a core.Fleet with per-call deadlines; -agg-quorum lets rounds
+// degrade (missing partitions fall back to the local update) instead of
+// hanging when an aggregator dies mid-training.
 //
 //	deta-party -id P1 -index 0 -parties 4 -ap 127.0.0.1:7000 \
 //	    -aggregators agg-1=127.0.0.1:7101,agg-2=127.0.0.1:7102,agg-3=127.0.0.1:7103
@@ -12,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -24,7 +28,6 @@ import (
 	"deta/internal/dataset"
 	"deta/internal/fl"
 	"deta/internal/nn"
-	"deta/internal/tensor"
 	"deta/internal/transport"
 )
 
@@ -44,6 +47,11 @@ func main() {
 	dataSeed := flag.String("dataset-seed", "deta-cli-data", "shared dataset seed")
 	mapperSeed := flag.String("mapper-seed", "deta-cli-mapper", "shared model-mapper seed")
 	noShuffle := flag.Bool("no-shuffle", false, "disable parameter shuffling (partition only)")
+	callTimeout := flag.Duration("call-timeout", 30*time.Second, "deadline for each aggregator RPC attempt (0 = none)")
+	dialTimeout := flag.Duration("dial-timeout", 30*time.Second, "total budget for dialing the AP and each aggregator (with backoff)")
+	roundTimeout := flag.Duration("round-timeout", 5*time.Minute, "deadline for one full round's download phase")
+	aggQuorum := flag.Int("agg-quorum", 0, "minimum aggregators that must answer per round (0 = all); below K degrades, never hangs")
+	keepalive := flag.Duration("keepalive", 0, "aggregator link health-check interval (0 = off)")
 	flag.Parse()
 
 	log.SetPrefix(fmt.Sprintf("deta-party[%s]: ", *id))
@@ -57,29 +65,34 @@ func main() {
 	if err != nil {
 		log.Fatalf("loading TLS materials: %v", err)
 	}
-	apConn, err := mat.DialTLS(*apAddr, *tlsName)
+	dialCtx, cancelDial := context.WithTimeout(context.Background(), *dialTimeout)
+	ap, err := dialAP(dialCtx, mat, *apAddr, *tlsName)
 	if err != nil {
+		cancelDial()
 		log.Fatalf("dialing AP: %v", err)
 	}
-	ap := &core.APClient{C: apConn}
 
-	// Dial every aggregator, in a stable order.
-	aggs, order, err := dialAggregators(mat, *aggSpec, *tlsName)
+	// Dial every aggregator (with backoff — peers may still be starting),
+	// in a stable order.
+	clients, order, err := dialAggregators(dialCtx, mat, *aggSpec, *tlsName)
+	cancelDial()
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Phase II: verify each aggregator's token before registering.
-	for _, aggID := range order {
-		pub, err := ap.TokenPubKey(aggID)
-		if err != nil {
-			log.Fatalf("fetching token key for %s: %v", aggID, err)
+	if *keepalive > 0 {
+		for _, a := range clients {
+			a.C.EnableKeepAlive(*keepalive, *callTimeout)
 		}
-		if err := core.VerifyAndRegister(aggs[aggID], pub, *id, attest.NewNonce, attest.VerifyChallenge); err != nil {
-			log.Fatalf("refusing to train: %v", err)
-		}
-		log.Printf("verified and registered with %s", aggID)
 	}
+	fleet := &core.Fleet{Clients: clients, Quorum: *aggQuorum, Timeout: *callTimeout}
+
+	// Phase II: verify every aggregator's token in parallel before
+	// registering. A failed *verification* aborts even under quorum.
+	ctx := context.Background()
+	if err := fleet.VerifyAndRegisterAll(ctx, *id, ap.TokenPubKey, attest.NewNonce, attest.VerifyChallenge); err != nil {
+		log.Fatalf("refusing to train: %v", err)
+	}
+	log.Printf("verified and registered with %d aggregators", fleet.K())
 
 	// Key broker: register and fetch the shared permutation key.
 	if err := ap.RegisterParty(*id); err != nil {
@@ -132,19 +145,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		for j, aggID := range order {
-			if err := aggs[aggID].Upload(round, *id, frags[j], float64(shard.Len())); err != nil {
-				log.Fatalf("round %d: upload to %s: %v", round, aggID, err)
-			}
+		// Fan the K fragment uploads out concurrently (quorum-tolerant).
+		if err := fleet.UploadAll(ctx, round, *id, frags, float64(shard.Len())); err != nil {
+			log.Fatalf("round %d: upload: %v", round, err)
 		}
-		// Download aggregated fragments (the initiator aggregator fuses
-		// once all parties upload; poll until available).
-		merged := make([]tensor.Vector, len(order))
-		for j, aggID := range order {
-			merged[j], err = pollDownload(aggs[aggID], round, *id)
-			if err != nil {
-				log.Fatalf("round %d: download from %s: %v", round, aggID, err)
-			}
+		// Download aggregated fragments in parallel (the initiator fuses
+		// once enough parties upload; DownloadAll polls until available).
+		// An aggregator lost this round degrades to the party's own
+		// fragment for its partition.
+		dctx, cancel := context.WithTimeout(ctx, *roundTimeout)
+		merged, err := fleet.DownloadAll(dctx, round, *id, frags)
+		cancel()
+		if err != nil {
+			log.Fatalf("round %d: download: %v", round, err)
 		}
 		global, err = core.InverseTransform(mapper, shuffler, merged, roundID, !*noShuffle)
 		if err != nil {
@@ -153,38 +166,38 @@ func main() {
 		log.Printf("round %d done: local train loss %.4f", round, loss)
 	}
 	log.Printf("training complete (%d rounds)", *rounds)
+	for _, aggID := range order {
+		log.Printf("link %s: %s", aggID, fleet.Stats()[aggID])
+	}
 }
 
-func dialAggregators(mat *transport.TLSMaterials, spec, tlsName string) (map[string]*core.AggregatorClient, []string, error) {
-	out := make(map[string]*core.AggregatorClient)
+func dialAP(ctx context.Context, mat *transport.TLSMaterials, addr, tlsName string) (*core.APClient, error) {
+	c, err := mat.DialTLSBackoff(ctx, addr, tlsName, transport.Backoff{Attempts: transport.UnlimitedAttempts})
+	if err != nil {
+		return nil, err
+	}
+	return &core.APClient{C: c}, nil
+}
+
+func dialAggregators(ctx context.Context, mat *transport.TLSMaterials, spec, tlsName string) ([]*core.AggregatorClient, []string, error) {
+	byID := make(map[string]*core.AggregatorClient)
 	var order []string
 	for _, entry := range strings.Split(spec, ",") {
 		id, addr, ok := strings.Cut(strings.TrimSpace(entry), "=")
 		if !ok {
 			return nil, nil, fmt.Errorf("bad aggregator entry %q (want id=addr)", entry)
 		}
-		c, err := mat.DialTLS(addr, tlsName)
+		c, err := mat.DialTLSBackoff(ctx, addr, tlsName, transport.Backoff{Attempts: transport.UnlimitedAttempts})
 		if err != nil {
 			return nil, nil, fmt.Errorf("dialing %s at %s: %w", id, addr, err)
 		}
-		out[id] = &core.AggregatorClient{ID: id, C: c}
+		byID[id] = &core.AggregatorClient{ID: id, C: c}
 		order = append(order, id)
 	}
 	sort.Strings(order)
-	return out, order, nil
-}
-
-func pollDownload(a *core.AggregatorClient, round int, partyID string) (tensor.Vector, error) {
-	deadline := time.Now().Add(5 * time.Minute)
-	for time.Now().Before(deadline) {
-		frag, err := a.Download(round, partyID)
-		if err == nil {
-			return frag, nil
-		}
-		if !strings.Contains(err.Error(), "not aggregated") {
-			return nil, err
-		}
-		time.Sleep(50 * time.Millisecond)
+	clients := make([]*core.AggregatorClient, len(order))
+	for j, id := range order {
+		clients[j] = byID[id]
 	}
-	return nil, fmt.Errorf("timeout waiting for aggregated fragment")
+	return clients, order, nil
 }

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -132,7 +132,9 @@ func TestNetworkedTrainingEndToEnd(t *testing.T) {
 	runParty := func(idx int) (tensor.Vector, error) {
 		id := fmt.Sprintf("P%d", idx+1)
 		ap := dialAP()
-		// Dial aggregators, Phase II, register.
+		// Dial aggregators, then run the whole Phase II fan-out in
+		// parallel through the Fleet (token-key fetches share the
+		// multiplexed AP connection).
 		clients := make([]*AggregatorClient, aggs)
 		for j, ln := range aggLns {
 			conn, err := ln.Dial()
@@ -140,13 +142,11 @@ func TestNetworkedTrainingEndToEnd(t *testing.T) {
 				return nil, err
 			}
 			clients[j] = &AggregatorClient{ID: fmt.Sprintf("agg-%d", j+1), C: transport.NewClient(conn)}
-			pub, err := ap.TokenPubKey(clients[j].ID)
-			if err != nil {
-				return nil, err
-			}
-			if err := VerifyAndRegister(clients[j], pub, id, attest.NewNonce, attest.VerifyChallenge); err != nil {
-				return nil, err
-			}
+		}
+		fleet := &Fleet{Clients: clients, Timeout: 30 * time.Second}
+		ctx := context.Background()
+		if err := fleet.VerifyAndRegisterAll(ctx, id, ap.TokenPubKey, attest.NewNonce, attest.VerifyChallenge); err != nil {
+			return nil, err
 		}
 		if err := ap.RegisterParty(id); err != nil {
 			return nil, err
@@ -181,17 +181,14 @@ func TestNetworkedTrainingEndToEnd(t *testing.T) {
 			if err != nil {
 				return nil, err
 			}
-			for j, c := range clients {
-				if err := c.Upload(round, id, frags[j], float64(shards[idx].Len())); err != nil {
-					return nil, err
-				}
+			if err := fleet.UploadAll(ctx, round, id, frags, float64(shards[idx].Len())); err != nil {
+				return nil, err
 			}
-			merged := make([]tensor.Vector, aggs)
-			for j, c := range clients {
-				merged[j], err = pollDownload(c, round, id)
-				if err != nil {
-					return nil, err
-				}
+			dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+			merged, err := fleet.DownloadAll(dctx, round, id, nil)
+			cancel()
+			if err != nil {
+				return nil, err
 			}
 			global, err = InverseTransform(mapper, shuffler, merged, roundID, true)
 			if err != nil {
@@ -272,19 +269,4 @@ func TestNetworkedTrainingEndToEnd(t *testing.T) {
 				i, finals[0][i], global[i])
 		}
 	}
-}
-
-func pollDownload(a *AggregatorClient, round int, partyID string) (tensor.Vector, error) {
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
-		frag, err := a.Download(round, partyID)
-		if err == nil {
-			return frag, nil
-		}
-		if !strings.Contains(err.Error(), "not aggregated") {
-			return nil, err
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-	return nil, fmt.Errorf("timeout waiting for round %d fragment", round)
 }

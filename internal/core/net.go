@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -101,15 +102,21 @@ func ServeAggregator(node *AggregatorNode, srv *transport.Server) {
 	})
 }
 
-// AggregatorClient is the party-side handle to one remote aggregator.
+// AggregatorClient is the party-side handle to one remote aggregator. All
+// methods take a context whose deadline bounds the RPC; the underlying
+// transport.Client multiplexes concurrent calls, so one AggregatorClient
+// is safe to share across the fan-out goroutines of a Fleet.
 type AggregatorClient struct {
 	ID string
 	C  *transport.Client
 }
 
+// Stats exposes this aggregator link's transport counters.
+func (a *AggregatorClient) Stats() transport.StatsSnapshot { return a.C.Stats().Snapshot() }
+
 // Challenge runs the Phase II nonce exchange.
-func (a *AggregatorClient) Challenge(nonce []byte) ([]byte, error) {
-	resp, err := transport.CallTyped[ChallengeReq, ChallengeResp](a.C, MethodChallenge, ChallengeReq{Nonce: nonce})
+func (a *AggregatorClient) Challenge(ctx context.Context, nonce []byte) ([]byte, error) {
+	resp, err := transport.CallTypedContext[ChallengeReq, ChallengeResp](ctx, a.C, MethodChallenge, ChallengeReq{Nonce: nonce})
 	if err != nil {
 		return nil, fmt.Errorf("core: challenge %s: %w", a.ID, err)
 	}
@@ -117,8 +124,8 @@ func (a *AggregatorClient) Challenge(nonce []byte) ([]byte, error) {
 }
 
 // Register admits the party at this aggregator.
-func (a *AggregatorClient) Register(partyID string) error {
-	_, err := transport.CallTyped[RegisterReq, RegisterResp](a.C, MethodRegister, RegisterReq{PartyID: partyID})
+func (a *AggregatorClient) Register(ctx context.Context, partyID string) error {
+	_, err := transport.CallTypedContext[RegisterReq, RegisterResp](ctx, a.C, MethodRegister, RegisterReq{PartyID: partyID})
 	if err != nil {
 		return fmt.Errorf("core: register at %s: %w", a.ID, err)
 	}
@@ -126,8 +133,8 @@ func (a *AggregatorClient) Register(partyID string) error {
 }
 
 // Upload sends a transformed fragment.
-func (a *AggregatorClient) Upload(round int, partyID string, frag tensor.Vector, weight float64) error {
-	_, err := transport.CallTyped[UploadReq, UploadResp](a.C, MethodUpload, UploadReq{
+func (a *AggregatorClient) Upload(ctx context.Context, round int, partyID string, frag tensor.Vector, weight float64) error {
+	_, err := transport.CallTypedContext[UploadReq, UploadResp](ctx, a.C, MethodUpload, UploadReq{
 		Round: round, PartyID: partyID, Fragment: frag, Weight: weight,
 	})
 	if err != nil {
@@ -137,8 +144,8 @@ func (a *AggregatorClient) Upload(round int, partyID string, frag tensor.Vector,
 }
 
 // Complete polls whether all parties uploaded for round.
-func (a *AggregatorClient) Complete(round int) (bool, error) {
-	resp, err := transport.CallTyped[CompleteReq, CompleteResp](a.C, MethodComplete, CompleteReq{Round: round})
+func (a *AggregatorClient) Complete(ctx context.Context, round int) (bool, error) {
+	resp, err := transport.CallTypedContext[CompleteReq, CompleteResp](ctx, a.C, MethodComplete, CompleteReq{Round: round})
 	if err != nil {
 		return false, err
 	}
@@ -146,8 +153,8 @@ func (a *AggregatorClient) Complete(round int) (bool, error) {
 }
 
 // Aggregate instructs the aggregator to fuse a round.
-func (a *AggregatorClient) Aggregate(round int) error {
-	_, err := transport.CallTyped[AggregateReq, AggregateResp](a.C, MethodAggregate, AggregateReq{Round: round})
+func (a *AggregatorClient) Aggregate(ctx context.Context, round int) error {
+	_, err := transport.CallTypedContext[AggregateReq, AggregateResp](ctx, a.C, MethodAggregate, AggregateReq{Round: round})
 	if err != nil {
 		return fmt.Errorf("core: aggregate at %s: %w", a.ID, err)
 	}
@@ -155,8 +162,8 @@ func (a *AggregatorClient) Aggregate(round int) error {
 }
 
 // Download fetches the aggregated fragment.
-func (a *AggregatorClient) Download(round int, partyID string) (tensor.Vector, error) {
-	resp, err := transport.CallTyped[DownloadReq, DownloadResp](a.C, MethodDownload, DownloadReq{
+func (a *AggregatorClient) Download(ctx context.Context, round int, partyID string) (tensor.Vector, error) {
+	resp, err := transport.CallTypedContext[DownloadReq, DownloadResp](ctx, a.C, MethodDownload, DownloadReq{
 		Round: round, PartyID: partyID,
 	})
 	if err != nil {
@@ -165,21 +172,29 @@ func (a *AggregatorClient) Download(round int, partyID string) (tensor.Vector, e
 	return resp.Fragment, nil
 }
 
+// ErrVerificationFailed marks a Phase II *cryptographic* rejection — an
+// aggregator that answered but could not prove token possession. Fan-out
+// layers must never tolerate it under quorum: a connectivity failure is an
+// availability problem, a verification failure is an adversary.
+var ErrVerificationFailed = errors.New("core: aggregator failed Phase II verification")
+
 // VerifyAndRegister performs the party-side Phase II against one remote
 // aggregator: nonce challenge, signature verification against the AP's
-// token public key, then registration.
-func VerifyAndRegister(a *AggregatorClient, tokenPubKey []byte, partyID string,
+// token public key, then registration. The context deadline bounds each
+// RPC, so a dead or stalled endpoint fails fast instead of hanging the
+// party.
+func VerifyAndRegister(ctx context.Context, a *AggregatorClient, tokenPubKey []byte, partyID string,
 	newNonce func() ([]byte, error), verify func(pub, nonce, sig []byte) error) error {
 	nonce, err := newNonce()
 	if err != nil {
 		return err
 	}
-	sig, err := a.Challenge(nonce)
+	sig, err := a.Challenge(ctx, nonce)
 	if err != nil {
 		return err
 	}
 	if err := verify(tokenPubKey, nonce, sig); err != nil {
-		return fmt.Errorf("core: aggregator %s failed Phase II verification: %w", a.ID, err)
+		return fmt.Errorf("%w: %s: %w", ErrVerificationFailed, a.ID, err)
 	}
-	return a.Register(partyID)
+	return a.Register(ctx, partyID)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -57,35 +58,35 @@ func TestNetPhaseIIAndRound(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Phase II over the wire.
-	if err := VerifyAndRegister(client, pub, "P1", attest.NewNonce, attest.VerifyChallenge); err != nil {
+	if err := VerifyAndRegister(context.Background(), client, pub, "P1", attest.NewNonce, attest.VerifyChallenge); err != nil {
 		t.Fatal(err)
 	}
-	if err := VerifyAndRegister(client, pub, "P2", attest.NewNonce, attest.VerifyChallenge); err != nil {
+	if err := VerifyAndRegister(context.Background(), client, pub, "P2", attest.NewNonce, attest.VerifyChallenge); err != nil {
 		t.Fatal(err)
 	}
 
 	// One full round over RPC.
-	if err := client.Upload(1, "P1", tensor.Vector{1, 2, 3}, 1); err != nil {
+	if err := client.Upload(context.Background(), 1, "P1", tensor.Vector{1, 2, 3}, 1); err != nil {
 		t.Fatal(err)
 	}
-	done, err := client.Complete(1)
+	done, err := client.Complete(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if done {
 		t.Fatal("round complete with one of two uploads")
 	}
-	if err := client.Upload(1, "P2", tensor.Vector{3, 4, 5}, 1); err != nil {
+	if err := client.Upload(context.Background(), 1, "P2", tensor.Vector{3, 4, 5}, 1); err != nil {
 		t.Fatal(err)
 	}
-	done, err = client.Complete(1)
+	done, err = client.Complete(context.Background(), 1)
 	if err != nil || !done {
 		t.Fatalf("complete = %v, %v", done, err)
 	}
-	if err := client.Aggregate(1); err != nil {
+	if err := client.Aggregate(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
-	frag, err := client.Download(1, "P1")
+	frag, err := client.Download(context.Background(), 1, "P1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestNetPhaseIIRejectsWrongKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	wrongPub, _ := otherAP.TokenPubKey("agg-other")
-	err := VerifyAndRegister(client, wrongPub, "P1", attest.NewNonce, attest.VerifyChallenge)
+	err := VerifyAndRegister(context.Background(), client, wrongPub, "P1", attest.NewNonce, attest.VerifyChallenge)
 	if err == nil || !strings.Contains(err.Error(), "Phase II") {
 		t.Fatalf("wrong token accepted: %v", err)
 	}
@@ -117,16 +118,16 @@ func TestNetPhaseIIRejectsWrongKey(t *testing.T) {
 func TestNetErrorsPropagate(t *testing.T) {
 	client, _ := startNetAggregator(t)
 	// Unregistered party upload must surface the remote error.
-	if err := client.Upload(1, "ghost", tensor.Vector{1}, 1); err == nil {
+	if err := client.Upload(context.Background(), 1, "ghost", tensor.Vector{1}, 1); err == nil {
 		t.Fatal("remote rejection not propagated")
 	}
-	if _, err := client.Download(9, "ghost"); err == nil {
+	if _, err := client.Download(context.Background(), 9, "ghost"); err == nil {
 		t.Fatal("remote download rejection not propagated")
 	}
-	if err := client.Register(""); err == nil {
+	if err := client.Register(context.Background(), ""); err == nil {
 		t.Fatal("empty party ID accepted")
 	}
-	if err := client.Aggregate(42); err == nil {
+	if err := client.Aggregate(context.Background(), 42); err == nil {
 		t.Fatal("aggregate of empty round accepted")
 	}
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"deta/internal/agg"
@@ -38,6 +37,16 @@ type Options struct {
 	// many parties have uploaded, tolerating stragglers and dropouts
 	// (paper §8.2 contrasts this flexibility with SMC cohort formation).
 	Quorum int
+	// AggQuorum, when positive, is the minimum number of *aggregators* a
+	// networked party's fan-out must reach for a round to proceed; a dead
+	// or stalled aggregator beyond the quorum degrades the round (missing
+	// fragments fall back to the party's own update) instead of hanging
+	// it. 0 requires all K. Consumed by Fleet (NewFleet); in-process
+	// sessions have no failing aggregators.
+	AggQuorum int
+	// CallTimeout bounds each party→aggregator RPC in networked
+	// deployments (0 = no per-call deadline). Consumed by Fleet.
+	CallTimeout time.Duration
 }
 
 func (o *Options) defaults() {
@@ -234,10 +243,18 @@ func (s *Session) Run() (*fl.History, error) {
 			if err != nil {
 				return nil, err
 			}
+			// Fan the K fragment uploads out concurrently, as a
+			// networked party would (the aggregators are independent
+			// services).
+			var ug Group
 			for j, node := range s.Nodes {
-				if err := node.Upload(round, p.ID, frags[j], float64(p.NumExamples())); err != nil {
-					return nil, err
-				}
+				j, node := j, node
+				ug.Go(func() error {
+					return node.Upload(round, p.ID, frags[j], float64(p.NumExamples()))
+				})
+			}
+			if err := ug.Wait(); err != nil {
+				return nil, err
 			}
 		}
 		if participants == 0 {
@@ -252,14 +269,20 @@ func (s *Session) Run() (*fl.History, error) {
 			return nil, err
 		}
 
-		// Parties download the aggregated fragments, reverse the
-		// transformation, and merge.
+		// Parties download the aggregated fragments (in parallel — one
+		// per aggregator), reverse the transformation, and merge.
 		frags := make([]tensor.Vector, len(s.Nodes))
+		var dg Group
 		for j, node := range s.Nodes {
-			frags[j], err = node.Download(round, s.Parties[0].ID)
-			if err != nil {
-				return nil, err
-			}
+			j, node := j, node
+			dg.Go(func() error {
+				var derr error
+				frags[j], derr = node.Download(round, s.Parties[0].ID)
+				return derr
+			})
+		}
+		if err := dg.Wait(); err != nil {
+			return nil, err
 		}
 		fused, err := InverseTransform(s.Mapper, s.Shuffler, frags, roundID, s.Opts.Shuffle)
 		if err != nil {
@@ -287,17 +310,12 @@ func (s *Session) Run() (*fl.History, error) {
 // aggregateAll runs the initiator/follower synchronization: the initiator
 // (node 0) and the followers aggregate their rounds concurrently.
 func (s *Session) aggregateAll(round int) error {
-	errs := make([]error, len(s.Nodes))
-	var wg sync.WaitGroup
-	for j, node := range s.Nodes {
-		wg.Add(1)
-		go func(j int, node *AggregatorNode) {
-			defer wg.Done()
-			errs[j] = node.Aggregate(round)
-		}(j, node)
+	var g Group
+	for _, node := range s.Nodes {
+		node := node
+		g.Go(func() error { return node.Aggregate(round) })
 	}
-	wg.Wait()
-	return errors.Join(errs...)
+	return g.Wait()
 }
 
 func (s *Session) applyUpdate(global, fused tensor.Vector) tensor.Vector {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -129,17 +130,17 @@ func runGeoRound(parties, params int, delay time.Duration) (time.Duration, error
 			return 0, err
 		}
 		for j, h := range handles {
-			if err := h.client.Upload(1, id, frags[j], 1); err != nil {
+			if err := h.client.Upload(context.Background(), 1, id, frags[j], 1); err != nil {
 				return 0, err
 			}
 		}
 	}
 	merged := make([]tensor.Vector, 3)
 	for j, h := range handles {
-		if err := h.client.Aggregate(1); err != nil {
+		if err := h.client.Aggregate(context.Background(), 1); err != nil {
 			return 0, err
 		}
-		merged[j], err = h.client.Download(1, "P1")
+		merged[j], err = h.client.Download(context.Background(), 1, "P1")
 		if err != nil {
 			return 0, err
 		}

@@ -2,7 +2,10 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
+	"io"
 	"testing"
+	"time"
 )
 
 // FuzzFrameRoundTrip: any request written must read back identically, and
@@ -27,13 +30,95 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	})
 }
 
-// FuzzFrameGarbage: arbitrary bytes on the wire must error cleanly.
+// frameWithLength prefixes payload with an arbitrary (possibly lying)
+// length header — the building block for truncation/oversize seeds.
+func frameWithLength(n uint32, payload []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], n)
+	return append(hdr[:], payload...)
+}
+
+// validFrame gob-encodes a request into a well-formed frame.
+func validFrame(tb testing.TB, req request) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, &req); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzFrameGarbage: arbitrary bytes on the wire must error cleanly. Seeds
+// cover the three malformed-frame families: truncated bodies (header
+// promises more than arrives), oversized length prefixes (beyond
+// MaxFrame), and well-framed garbage gob payloads.
 func FuzzFrameGarbage(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 1, 42})
-	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})                           // oversized length prefix
+	f.Add(frameWithLength(100, []byte("short")))                    // truncated body
+	f.Add(frameWithLength(1<<28+1, nil))                            // just over MaxFrame
+	f.Add(frameWithLength(5, []byte{0x01, 0x02, 0x03, 0x04, 0x05})) // garbage gob, honest length
+	f.Add([]byte{0, 0, 0, 0})                                       // empty body: gob EOF
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		var req request
-		_ = readFrame(bytes.NewReader(raw), &req) // must not panic
+		err := readFrame(bytes.NewReader(raw), &req) // must not panic
+		// A frame that decodes must re-encode; a frame that errors must
+		// not have consumed more than the announced bytes (no runaway
+		// allocation past MaxFrame is observable as an OOM/panic).
+		if err == nil {
+			var buf bytes.Buffer
+			if werr := writeFrame(&buf, &req); werr != nil {
+				t.Fatalf("decoded frame failed to re-encode: %v", werr)
+			}
+		}
+	})
+}
+
+// FuzzServerConnGarbage feeds raw fuzzed bytes to a live server connection
+// and asserts the server neither panics nor leaks the connection: a
+// malformed frame makes the server drop the connection, and Server.Close
+// (which waits for every connection goroutine) always returns.
+func FuzzServerConnGarbage(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x00})
+	f.Add(frameWithLength(1000, []byte("truncated")))
+	f.Add(frameWithLength(6, []byte("garbage gob")))
+	f.Add(append([]byte(nil), 0, 0, 0, 2, 0xFF, 0xFF))
+	// A valid echo request followed by garbage: the server must answer the
+	// first and then close on the second.
+	valid := validFrame(f, request{ID: 1, Method: "echo", Body: []byte("x")})
+	f.Add(append(append([]byte(nil), valid...), 0xFF, 0xFF, 0xFF, 0xFF))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		s := NewServer()
+		s.Handle("echo", func(body []byte) ([]byte, error) { return body, nil })
+		ln := NewMemListener()
+		done := make(chan struct{})
+		go func() { s.Serve(ln); close(done) }()
+
+		conn, err := ln.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetDeadline(time.Now().Add(500 * time.Millisecond))
+		go func() {
+			conn.Write(raw)
+			// Half of the fuzz inputs are valid prefixes of longer frames;
+			// closing marks the stream truncated so the server unblocks.
+			conn.Close()
+		}()
+		// Drain whatever the server sends until it closes our connection
+		// (clean close) or the deadline proves it wrote nothing.
+		io.Copy(io.Discard, conn)
+		conn.Close()
+
+		// Close must reap every connection goroutine; a hang here means a
+		// handler or serveConn leaked on malformed input.
+		s.Close()
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatal("server accept loop did not exit after Close")
+		}
 	})
 }

@@ -6,8 +6,17 @@
 //
 // Frame format: 4-byte big-endian length, then a gob-encoded envelope.
 // Requests carry a method name and an opaque body; responses carry a body
-// or an error string. Calls on one client are serialized; use one client
-// per concurrent caller.
+// or an error string.
+//
+// Concurrency: one Client multiplexes any number of concurrent Calls over
+// its single connection — requests are pipelined by a writer goroutine and
+// responses are routed back to their callers by request ID, in whatever
+// order the server produces them. The server handles each request on its
+// own goroutine, so a slow handler does not block other requests on the
+// same connection. Per-call deadlines (CallContext), keepalive health
+// checks (EnableKeepAlive), dial/backoff helpers (DialBackoff, Retry), and
+// per-connection counters (Stats) make the layer deadline-aware end to
+// end: a hung peer costs one timed-out call, never a wedged party.
 package transport
 
 import (
@@ -24,6 +33,10 @@ import (
 // MaxFrame bounds a single message (guards against corrupt length
 // prefixes). Model fragments for the largest zoo models fit comfortably.
 const MaxFrame = 1 << 28 // 256 MiB
+
+// MethodPing is the built-in health-check method every Server answers
+// without a registered handler; Client.Ping and keepalive use it.
+const MethodPing = "transport.Ping"
 
 type request struct {
 	ID     uint64
@@ -73,7 +86,10 @@ func readFrame(r io.Reader, v any) error {
 // Handler processes one request body and returns a response body.
 type Handler func(body []byte) ([]byte, error)
 
-// Server dispatches RPC requests to registered handlers.
+// Server dispatches RPC requests to registered handlers. Each request runs
+// on its own goroutine and responses are written back as handlers finish,
+// so responses on one connection may be out of order relative to their
+// requests — the multiplexed Client matches them up by ID.
 type Server struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
@@ -127,32 +143,63 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	var (
+		wmu sync.Mutex     // serializes response frames on conn
+		hwg sync.WaitGroup // in-flight handler goroutines
+	)
 	defer func() {
+		hwg.Wait()
 		conn.Close()
 		s.lnMu.Lock()
 		delete(s.conns, conn)
 		s.lnMu.Unlock()
 		s.wg.Done()
 	}()
+	write := func(resp *response) {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if err := writeFrame(conn, resp); err != nil {
+			// Unblock the read loop; in-flight handlers drain into
+			// writes that fail the same way.
+			conn.Close()
+		}
+	}
 	for {
 		var req request
 		if err := readFrame(conn, &req); err != nil {
+			// Malformed frame, peer close, or server close: drop the
+			// connection. Handler goroutines finish via the deferred wait.
 			return
+		}
+		if req.Method == MethodPing {
+			write(&response{ID: req.ID})
+			continue
 		}
 		s.mu.RLock()
 		h, ok := s.handlers[req.Method]
 		s.mu.RUnlock()
-		resp := response{ID: req.ID}
 		if !ok {
-			resp.Err = fmt.Sprintf("transport: unknown method %q", req.Method)
-		} else if body, err := h(req.Body); err != nil {
-			resp.Err = err.Error()
-		} else {
-			resp.Body = body
+			write(&response{ID: req.ID, Err: fmt.Sprintf("transport: unknown method %q", req.Method)})
+			continue
 		}
-		if err := writeFrame(conn, &resp); err != nil {
-			return
-		}
+		hwg.Add(1)
+		go func(req request) {
+			defer hwg.Done()
+			resp := response{ID: req.ID}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						resp.Body, resp.Err = nil, fmt.Sprintf("transport: handler %s panicked: %v", req.Method, r)
+					}
+				}()
+				if body, err := h(req.Body); err != nil {
+					resp.Err = err.Error()
+				} else {
+					resp.Body = body
+				}
+			}()
+			write(&resp)
+		}(req)
 	}
 }
 
@@ -170,41 +217,6 @@ func (s *Server) Close() {
 	s.lnMu.Unlock()
 	s.wg.Wait()
 }
-
-// Client issues RPC calls over a single connection.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	next uint64
-}
-
-// NewClient wraps an established connection.
-func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
-
-// Call sends a request and waits for its response.
-func (c *Client) Call(method string, body []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.next++
-	req := request{ID: c.next, Method: method, Body: body}
-	if err := writeFrame(c.conn, &req); err != nil {
-		return nil, fmt.Errorf("transport: send %s: %w", method, err)
-	}
-	var resp response
-	if err := readFrame(c.conn, &resp); err != nil {
-		return nil, fmt.Errorf("transport: recv %s: %w", method, err)
-	}
-	if resp.ID != req.ID {
-		return nil, fmt.Errorf("transport: response ID %d for request %d", resp.ID, req.ID)
-	}
-	if resp.Err != "" {
-		return nil, &RemoteError{Method: method, Msg: resp.Err}
-	}
-	return resp.Body, nil
-}
-
-// Close closes the underlying connection.
-func (c *Client) Close() error { return c.conn.Close() }
 
 // RemoteError is an error reported by the remote handler.
 type RemoteError struct {
@@ -228,24 +240,6 @@ func Encode(v any) ([]byte, error) {
 // Decode gob-decodes body into v.
 func Decode(body []byte, v any) error {
 	return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
-}
-
-// CallTyped performs a Call with gob-encoded request and response values.
-func CallTyped[Req, Resp any](c *Client, method string, req Req) (Resp, error) {
-	var zero Resp
-	body, err := Encode(req)
-	if err != nil {
-		return zero, err
-	}
-	out, err := c.Call(method, body)
-	if err != nil {
-		return zero, err
-	}
-	var resp Resp
-	if err := Decode(out, &resp); err != nil {
-		return zero, err
-	}
-	return resp, nil
 }
 
 // HandleTyped registers a handler taking and returning gob-encoded values.
