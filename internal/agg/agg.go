@@ -15,8 +15,14 @@ import (
 	"fmt"
 	"sort"
 
+	"deta/internal/parallel"
 	"deta/internal/tensor"
 )
+
+// medianGrain is the minimum number of coordinates per parallel chunk for
+// the per-coordinate sort kernels (median, trimmed mean). Each coordinate
+// costs a k-element sort, so chunks amortize quickly.
+const medianGrain = 128
 
 // Algorithm combines one model update per party into an aggregated update.
 // weights are per-party importance values (typically local dataset sizes);
@@ -103,13 +109,15 @@ func (CoordinateMedian) Aggregate(updates []tensor.Vector, weights []float64) (t
 		return nil, err
 	}
 	out := make(tensor.Vector, n)
-	col := make([]float64, len(updates))
-	for i := 0; i < n; i++ {
-		for k, u := range updates {
-			col[k] = u[i]
+	parallel.For(n, medianGrain, func(lo, hi int) {
+		col := make([]float64, len(updates))
+		for i := lo; i < hi; i++ {
+			for k, u := range updates {
+				col[k] = u[i]
+			}
+			out[i] = median(col)
 		}
-		out[i] = median(col)
-	}
+	})
 	return out, nil
 }
 
@@ -142,19 +150,21 @@ func (t TrimmedMean) Aggregate(updates []tensor.Vector, weights []float64) (tens
 		return nil, fmt.Errorf("agg: trim %d invalid for %d parties", t.Trim, len(updates))
 	}
 	out := make(tensor.Vector, n)
-	col := make([]float64, len(updates))
-	for i := 0; i < n; i++ {
-		for k, u := range updates {
-			col[k] = u[i]
+	parallel.For(n, medianGrain, func(lo, hi int) {
+		col := make([]float64, len(updates))
+		for i := lo; i < hi; i++ {
+			for k, u := range updates {
+				col[k] = u[i]
+			}
+			sort.Float64s(col)
+			kept := col[t.Trim : len(col)-t.Trim]
+			var s float64
+			for _, v := range kept {
+				s += v
+			}
+			out[i] = s / float64(len(kept))
 		}
-		sort.Float64s(col)
-		kept := col[t.Trim : len(col)-t.Trim]
-		var s float64
-		for _, v := range kept {
-			s += v
-		}
-		out[i] = s / float64(len(kept))
-	}
+	})
 	return out, nil
 }
 
@@ -189,21 +199,25 @@ func (k Krum) Select(updates []tensor.Vector) (int, error) {
 	if k.F < 0 || n-k.F-2 < 1 {
 		return 0, fmt.Errorf("agg: krum needs n-f-2 >= 1, have n=%d f=%d", n, k.F)
 	}
-	// Pairwise squared distances.
+	// Pairwise squared distances. Rows are independent: the worker for row
+	// i owns every (i,j) pair with j > i, and each matrix cell is written by
+	// exactly one worker, so the fill is race-free and bit-identical.
 	d2 := make([][]float64, n)
 	for i := range d2 {
 		d2[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			var s float64
-			for t := range updates[i] {
-				diff := updates[i][t] - updates[j][t]
-				s += diff * diff
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < n; j++ {
+				var s float64
+				for t := range updates[i] {
+					diff := updates[i][t] - updates[j][t]
+					s += diff * diff
+				}
+				d2[i][j], d2[j][i] = s, s
 			}
-			d2[i][j], d2[j][i] = s, s
 		}
-	}
+	})
 	best, bestScore := 0, 0.0
 	for i := 0; i < n; i++ {
 		ds := make([]float64, 0, n-1)
@@ -224,7 +238,10 @@ func (k Krum) Select(updates []tensor.Vector) (int, error) {
 	return best, nil
 }
 
-// MultiKrum averages the M best updates under the Krum score.
+// MultiKrum averages the M best updates under the Krum score. Weights are
+// ignored (like Krum, CoordinateMedian, and TrimmedMean): the chosen
+// updates are averaged equally, since Byzantine parties could inflate their
+// own weights.
 type MultiKrum struct {
 	F int
 	M int

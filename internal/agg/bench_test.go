@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"deta/internal/parallel"
 	"deta/internal/rng"
 	"deta/internal/tensor"
 )
@@ -68,4 +69,42 @@ func BenchmarkPaillierFusion(b *testing.B) {
 	}
 	// Small vector: each element costs a full Paillier encrypt + decrypt.
 	benchAlgorithm(b, pf, 4, 64)
+}
+
+// benchWorkers runs an algorithm under explicit worker counts so the
+// serial-vs-parallel kernel speedup is measurable on one binary (the
+// numbers in EXPERIMENTS.md §compute-parallelism come from these).
+func benchWorkers(b *testing.B, alg Algorithm, parties, n int) {
+	b.Helper()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			prev := parallel.SetWorkers(workers)
+			defer parallel.SetWorkers(prev)
+			benchAlgorithm(b, alg, parties, n)
+		})
+	}
+}
+
+func BenchmarkCoordinateMedianWorkers(b *testing.B) {
+	benchWorkers(b, CoordinateMedian{}, 8, 1<<16)
+}
+
+func BenchmarkTrimmedMeanWorkers(b *testing.B) {
+	benchWorkers(b, TrimmedMean{Trim: 1}, 8, 1<<16)
+}
+
+func BenchmarkKrumWorkers(b *testing.B) {
+	benchWorkers(b, Krum{F: 1}, 16, 1<<14)
+}
+
+func BenchmarkFLAMELiteWorkers(b *testing.B) {
+	benchWorkers(b, FLAMELite{}, 16, 1<<14)
+}
+
+func BenchmarkPaillierFusionWorkers(b *testing.B) {
+	pf, err := NewPaillierFusion(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWorkers(b, pf, 4, 64)
 }

@@ -2,8 +2,8 @@ package agg
 
 import (
 	"math"
-	"sort"
 
+	"deta/internal/parallel"
 	"deta/internal/tensor"
 )
 
@@ -29,36 +29,40 @@ func (FLAMELite) Aggregate(updates []tensor.Vector, weights []float64) (tensor.V
 	if n < 3 {
 		return IterativeAverage{}.Aggregate(updates, nil)
 	}
-	// Pairwise cosine distances.
+	// Pairwise cosine distances. As in Krum, the worker for row i owns all
+	// (i,j) pairs with j > i, so every cell has exactly one writer. The
+	// lengths were validated above, so CosineDistance cannot fail.
 	dist := make([][]float64, n)
 	for i := range dist {
 		dist[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d, err := tensor.CosineDistance(updates[i], updates[j])
-			if err != nil {
-				return nil, err
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := i + 1; j < n; j++ {
+				d, err := tensor.CosineDistance(updates[i], updates[j])
+				if err != nil {
+					panic(err) // unreachable: lengths validated
+				}
+				dist[i][j], dist[j][i] = d, d
 			}
-			dist[i][j], dist[j][i] = d, d
 		}
-	}
+	})
 	// An update's score is its median distance to the others; admit those
 	// within the tolerance band above the overall median score. Outliers
 	// (poisoned updates pointing elsewhere) score high and are dropped.
 	scores := make([]float64, n)
-	for i := 0; i < n; i++ {
-		ds := make([]float64, 0, n-1)
-		for j := 0; j < n; j++ {
-			if j != i {
-				ds = append(ds, dist[i][j])
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ds := make([]float64, 0, n-1)
+			for j := 0; j < n; j++ {
+				if j != i {
+					ds = append(ds, dist[i][j])
+				}
 			}
+			scores[i] = median(ds)
 		}
-		scores[i] = median(ds)
-	}
-	sorted := append([]float64(nil), scores...)
-	sort.Float64s(sorted)
-	medScore := sorted[len(sorted)/2]
+	})
+	medScore := median(append([]float64(nil), scores...))
 	// Median absolute deviation for the tolerance band.
 	devs := make([]float64, n)
 	for i, s := range scores {

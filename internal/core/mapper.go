@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"deta/internal/parallel"
 	"deta/internal/rng"
 	"deta/internal/tensor"
 )
@@ -54,16 +55,7 @@ func NewMapper(n int, proportions []float64, seed []byte) (*Mapper, error) {
 	// Random permutation of indices; carve consecutive runs per aggregator
 	// sized by the proportions.
 	perm := rng.NewStream(rng.DeriveSeed(seed, []byte("model-mapper")), "perm").Perm(n)
-	counts := make([]int, k)
-	used := 0
-	for j := 0; j < k-1; j++ {
-		counts[j] = int(float64(n)*proportions[j] + 0.5)
-		if counts[j] > n-used {
-			counts[j] = n - used
-		}
-		used += counts[j]
-	}
-	counts[k-1] = n - used
+	counts := apportion(n, proportions)
 
 	assign := make([]int, n)
 	at := 0
@@ -84,6 +76,43 @@ func NewMapper(n int, proportions []float64, seed []byte) (*Mapper, error) {
 		parts[j] = append(parts[j], idx)
 	}
 	return &Mapper{n: n, assign: assign, parts: parts}, nil
+}
+
+// apportion splits n seats across proportions by the largest-remainder
+// method: each aggregator gets floor(n*p) seats, and the leftover seats go
+// to the largest fractional remainders (ties broken by lower index, so the
+// split is deterministic). Unlike independent per-partition rounding, no
+// aggregator with a positive proportion can be starved by earlier
+// partitions rounding up — e.g. n=4 with proportions [0.4, 0.4, 0.2] yields
+// [2, 1, 1], not [2, 2, 0].
+func apportion(n int, proportions []float64) []int {
+	k := len(proportions)
+	counts := make([]int, k)
+	order := make([]int, k)
+	rem := make([]float64, k)
+	used := 0
+	for j, p := range proportions {
+		exact := float64(n) * p
+		counts[j] = int(exact)
+		rem[j] = exact - float64(counts[j])
+		order[j] = j
+		used += counts[j]
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rem[order[a]] > rem[order[b]] })
+	// Distribute leftovers by descending remainder (cycling if proportions
+	// sum slightly under 1); reclaim overshoot from ascending remainder
+	// (possible only when they sum slightly over 1).
+	for i := 0; used < n; i = (i + 1) % k {
+		counts[order[i]]++
+		used++
+	}
+	for i := k - 1; used > n; i = (i - 1 + k) % k {
+		if counts[order[i]] > 0 {
+			counts[order[i]]--
+			used--
+		}
+	}
+	return counts
 }
 
 // EqualProportions returns a uniform proportion vector for k aggregators.
@@ -117,14 +146,18 @@ func (m *Mapper) Partition(v tensor.Vector) ([]tensor.Vector, error) {
 	if len(v) != m.n {
 		return nil, fmt.Errorf("core: update length %d, mapper built for %d", len(v), m.n)
 	}
+	// Fragments are independent gathers, built concurrently.
 	out := make([]tensor.Vector, len(m.parts))
-	for j, idxs := range m.parts {
-		frag := make(tensor.Vector, len(idxs))
-		for i, idx := range idxs {
-			frag[i] = v[idx]
+	parallel.For(len(m.parts), 1, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			idxs := m.parts[j]
+			frag := make(tensor.Vector, len(idxs))
+			for i, idx := range idxs {
+				frag[i] = v[idx]
+			}
+			out[j] = frag
 		}
-		out[j] = frag
-	}
+	})
 	return out, nil
 }
 
@@ -134,15 +167,21 @@ func (m *Mapper) Merge(frags []tensor.Vector) (tensor.Vector, error) {
 	if len(frags) != len(m.parts) {
 		return nil, fmt.Errorf("core: %d fragments, mapper has %d partitions", len(frags), len(m.parts))
 	}
-	out := make(tensor.Vector, m.n)
 	for j, idxs := range m.parts {
 		if len(frags[j]) != len(idxs) {
 			return nil, fmt.Errorf("core: fragment %d has %d values, want %d", j, len(frags[j]), len(idxs))
 		}
-		for i, idx := range idxs {
-			out[idx] = frags[j][i]
-		}
 	}
+	// Partitions are disjoint (Validate invariant), so the scatters write
+	// disjoint index sets and can run concurrently.
+	out := make(tensor.Vector, m.n)
+	parallel.For(len(m.parts), 1, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			for i, idx := range m.parts[j] {
+				out[idx] = frags[j][i]
+			}
+		}
+	})
 	return out, nil
 }
 

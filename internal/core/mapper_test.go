@@ -144,6 +144,67 @@ func TestPartitionErrors(t *testing.T) {
 	}
 }
 
+// Regression (satellite): independent per-partition rounding used to give
+// n=4 with proportions [0.4, 0.4, 0.2] the counts [2, 2, 0] — an empty
+// fragment for an aggregator with a positive proportion, because the two
+// 0.4s each rounded up and starved the tail. Largest-remainder
+// apportionment yields [2, 1, 1].
+func TestMapperApportionmentNoStarvation(t *testing.T) {
+	m, err := NewMapper(4, []float64{0.4, 0.4, 0.2}, []byte("apportion"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := m.Counts()
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("counts %v, want [2 1 1]", counts)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// More generally: with n >= k, every aggregator with a positive
+	// proportion of at least 1/n gets at least one parameter.
+	for n := 3; n <= 40; n++ {
+		props := []float64{0.4, 0.4, 0.2}
+		m, err := NewMapper(n, props, []byte("apportion-sweep"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for j, c := range m.Counts() {
+			total += c
+			if float64(n)*props[j] >= 1 && c == 0 {
+				t.Fatalf("n=%d: aggregator %d starved: counts %v", n, j, m.Counts())
+			}
+		}
+		if total != n {
+			t.Fatalf("n=%d: counts %v cover %d", n, m.Counts(), total)
+		}
+	}
+}
+
+// Largest-remainder apportionment is exact when proportions divide evenly
+// and never drifts by more than one seat from n*p otherwise.
+func TestMapperApportionmentWithinOneSeat(t *testing.T) {
+	f := func(nRaw uint16, kRaw uint8) bool {
+		n := int(nRaw%2000) + 1
+		k := int(kRaw%6) + 1
+		m, err := NewMapper(n, EqualProportions(k), []byte{byte(nRaw), byte(kRaw)})
+		if err != nil {
+			return false
+		}
+		for _, c := range m.Counts() {
+			exact := float64(n) / float64(k)
+			if float64(c) < exact-1 || float64(c) > exact+1 {
+				return false
+			}
+		}
+		return m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestFragmentsHideArchitecture(t *testing.T) {
 	// A fragment must be a dense flat vector with no gaps: its length is
 	// less than the model's, and adjacent fragment entries come from

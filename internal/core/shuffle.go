@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"deta/internal/parallel"
 	"deta/internal/rng"
 	"deta/internal/tensor"
 )
@@ -66,9 +67,14 @@ func Transform(m *Mapper, s *Shuffler, update tensor.Vector, roundID []byte, shu
 		if s == nil {
 			return nil, fmt.Errorf("core: shuffle requested without a shuffler")
 		}
-		for j := range frags {
-			frags[j] = s.Shuffle(frags[j], roundID, j)
-		}
+		// Each fragment's permutation is derived and applied independently
+		// (domain-separated by partition index), so fragments shuffle
+		// concurrently.
+		parallel.For(len(frags), 1, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				frags[j] = s.Shuffle(frags[j], roundID, j)
+			}
+		})
 	}
 	return frags, nil
 }
@@ -81,9 +87,11 @@ func InverseTransform(m *Mapper, s *Shuffler, frags []tensor.Vector, roundID []b
 			return nil, fmt.Errorf("core: unshuffle requested without a shuffler")
 		}
 		unshuffled := make([]tensor.Vector, len(frags))
-		for j := range frags {
-			unshuffled[j] = s.Unshuffle(frags[j], roundID, j)
-		}
+		parallel.For(len(frags), 1, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				unshuffled[j] = s.Unshuffle(frags[j], roundID, j)
+			}
+		})
 		frags = unshuffled
 	}
 	return m.Merge(frags)

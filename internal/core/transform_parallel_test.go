@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"deta/internal/parallel"
+	"deta/internal/rng"
+	"deta/internal/tensor"
+)
+
+// Property: the transform pipeline (Partition + Shuffle, and the inverse)
+// is bit-identical under any worker count — each fragment is a pure gather
+// through mapper indices and a keyed permutation, so per-fragment
+// concurrency cannot change a single bit.
+func TestTransformParallelMatchesSerial(t *testing.T) {
+	shuffler, err := NewShuffler([]byte("transform-parallel-key-0123456789"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed uint16, kRaw, workersRaw uint8, nRaw uint16) bool {
+		k := int(kRaw%5) + 1
+		n := int(nRaw%800) + k
+		workers := int(workersRaw%10) + 1
+		m, err := NewMapper(n, EqualProportions(k), []byte{byte(seed), byte(seed >> 8)})
+		if err != nil {
+			return false
+		}
+		v := make(tensor.Vector, n)
+		s := rng.NewStream([]byte{byte(seed)}, "transform-values")
+		for i := range v {
+			v[i] = s.NormFloat64()
+		}
+		roundID := []byte{byte(seed >> 8), 0x42}
+
+		// Serial ground truth.
+		prev := parallel.SetWorkers(1)
+		serialFrags, err := Transform(m, shuffler, v.Clone(), roundID, true)
+		if err != nil {
+			parallel.SetWorkers(prev)
+			return false
+		}
+		serialBack, err := InverseTransform(m, shuffler, serialFrags, roundID, true)
+		if err != nil {
+			parallel.SetWorkers(prev)
+			return false
+		}
+
+		// Parallel run.
+		parallel.SetWorkers(workers)
+		frags, err := Transform(m, shuffler, v.Clone(), roundID, true)
+		if err != nil {
+			parallel.SetWorkers(prev)
+			return false
+		}
+		back, err := InverseTransform(m, shuffler, frags, roundID, true)
+		parallel.SetWorkers(prev)
+		if err != nil {
+			return false
+		}
+
+		if len(frags) != len(serialFrags) {
+			return false
+		}
+		for j := range frags {
+			if len(frags[j]) != len(serialFrags[j]) {
+				return false
+			}
+			for i := range frags[j] {
+				if frags[j][i] != serialFrags[j][i] {
+					return false
+				}
+			}
+		}
+		for i := range v {
+			if back[i] != serialBack[i] || back[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Partition and Merge alone (shuffle off) under oversubscribed workers:
+// round-trips exactly and matches the serial gather/scatter.
+func TestPartitionMergeParallelRoundTrip(t *testing.T) {
+	prev := parallel.SetWorkers(8)
+	defer parallel.SetWorkers(prev)
+	m, err := NewMapper(1001, []float64{0.5, 0.3, 0.2}, []byte("pm-parallel"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make(tensor.Vector, 1001)
+	s := rng.NewStream([]byte("pm-values"), "x")
+	for i := range v {
+		v[i] = s.NormFloat64()
+	}
+	frags, err := m.Partition(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := m.Merge(frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if back[i] != v[i] {
+			t.Fatalf("index %d: %v != %v", i, back[i], v[i])
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package nn
 
-import "deta/internal/tensor"
+import (
+	"deta/internal/parallel"
+	"deta/internal/tensor"
+)
 
 // Conv2D is a 2-D convolution over CHW-flattened inputs. Spatial input
 // dimensions are fixed at construction (networks here are static graphs).
@@ -50,40 +53,41 @@ func (c *Conv2D) OutDims() (ch, h, w int) { return c.outC, c.outH, c.outW }
 
 // im2col unrolls input patches into c.cols: row q = (ic,ky,kx) holds the
 // input value each output position reads through that kernel tap (zero for
-// padding).
+// padding). Rows are disjoint slices of c.cols, filled concurrently.
 func (c *Conv2D) im2col(x []float64) {
 	area := c.outH * c.outW
 	q2 := c.inC * c.k * c.k
 	if len(c.cols) != q2*area {
 		c.cols = make([]float64, q2*area)
 	}
-	for ic := 0; ic < c.inC; ic++ {
-		xBase := ic * c.inH * c.inW
-		for ky := 0; ky < c.k; ky++ {
-			for kx := 0; kx < c.k; kx++ {
-				row := ((ic*c.k+ky)*c.k + kx) * area
-				for oy := 0; oy < c.outH; oy++ {
-					iy := oy*c.stride - c.pad + ky
-					dst := row + oy*c.outW
-					if iy < 0 || iy >= c.inH {
-						for ox := 0; ox < c.outW; ox++ {
-							c.cols[dst+ox] = 0
-						}
-						continue
-					}
-					xRow := xBase + iy*c.inW
+	parallel.For(q2, 1, func(qlo, qhi int) {
+		for q := qlo; q < qhi; q++ {
+			ic := q / (c.k * c.k)
+			ky := (q / c.k) % c.k
+			kx := q % c.k
+			xBase := ic * c.inH * c.inW
+			row := q * area
+			for oy := 0; oy < c.outH; oy++ {
+				iy := oy*c.stride - c.pad + ky
+				dst := row + oy*c.outW
+				if iy < 0 || iy >= c.inH {
 					for ox := 0; ox < c.outW; ox++ {
-						ix := ox*c.stride - c.pad + kx
-						if ix < 0 || ix >= c.inW {
-							c.cols[dst+ox] = 0
-						} else {
-							c.cols[dst+ox] = x[xRow+ix]
-						}
+						c.cols[dst+ox] = 0
+					}
+					continue
+				}
+				xRow := xBase + iy*c.inW
+				for ox := 0; ox < c.outW; ox++ {
+					ix := ox*c.stride - c.pad + kx
+					if ix < 0 || ix >= c.inW {
+						c.cols[dst+ox] = 0
+					} else {
+						c.cols[dst+ox] = x[xRow+ix]
 					}
 				}
 			}
 		}
-	}
+	})
 }
 
 func (c *Conv2D) Forward(x []float64, _ bool) []float64 {
@@ -91,21 +95,25 @@ func (c *Conv2D) Forward(x []float64, _ bool) []float64 {
 	c.im2col(x)
 	area := c.outH * c.outW
 	q2 := c.inC * c.k * c.k
+	// Output channels are independent rows of the dense product; each
+	// worker owns a disjoint slice of out.
 	out := make([]float64, c.OutDim())
-	for oc := 0; oc < c.outC; oc++ {
-		dst := out[oc*area : (oc+1)*area]
-		bias := c.b[oc]
-		for i := range dst {
-			dst[i] = bias
-		}
-		wRow := c.w[oc*q2 : (oc+1)*q2]
-		for q, wq := range wRow {
-			col := c.cols[q*area : (q+1)*area]
-			for i, v := range col {
-				dst[i] += wq * v
+	parallel.For(c.outC, 1, func(lo, hi int) {
+		for oc := lo; oc < hi; oc++ {
+			dst := out[oc*area : (oc+1)*area]
+			bias := c.b[oc]
+			for i := range dst {
+				dst[i] = bias
+			}
+			wRow := c.w[oc*q2 : (oc+1)*q2]
+			for q, wq := range wRow {
+				col := c.cols[q*area : (q+1)*area]
+				for i, v := range col {
+					dst[i] += wq * v
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -114,55 +122,71 @@ func (c *Conv2D) Backward(grad []float64) []float64 {
 	area := c.outH * c.outW
 	q2 := c.inC * c.k * c.k
 
-	// dW and db from the stored im2col matrix; dcols from the weights.
-	dcols := make([]float64, q2*area)
-	for oc := 0; oc < c.outC; oc++ {
-		g := grad[oc*area : (oc+1)*area]
-		var gb float64
-		for _, v := range g {
-			gb += v
+	// db: output channels are independent.
+	parallel.For(c.outC, 4, func(lo, hi int) {
+		for oc := lo; oc < hi; oc++ {
+			g := grad[oc*area : (oc+1)*area]
+			var gb float64
+			for _, v := range g {
+				gb += v
+			}
+			c.gb[oc] += gb
 		}
-		c.gb[oc] += gb
-		wRow := c.w[oc*q2 : (oc+1)*q2]
-		gwRow := c.gw[oc*q2 : (oc+1)*q2]
-		for q := 0; q < q2; q++ {
+	})
+
+	// dW and dcols, parallel over im2col rows q: the worker for row q owns
+	// dcols row q and the gw column q of every output channel, so all
+	// writes are disjoint. For each (q, i) cell the inner loop accumulates
+	// over oc in ascending order — the same order as the serial oc-outer
+	// loop — keeping the float result bit-identical.
+	dcols := make([]float64, q2*area)
+	parallel.For(q2, 1, func(qlo, qhi int) {
+		for q := qlo; q < qhi; q++ {
 			col := c.cols[q*area : (q+1)*area]
 			dcol := dcols[q*area : (q+1)*area]
-			wq := wRow[q]
-			var gw float64
-			for i, gi := range g {
-				gw += gi * col[i]
-				dcol[i] += wq * gi
+			for oc := 0; oc < c.outC; oc++ {
+				g := grad[oc*area : (oc+1)*area]
+				wq := c.w[oc*q2+q]
+				var gw float64
+				for i, gi := range g {
+					gw += gi * col[i]
+					dcol[i] += wq * gi
+				}
+				c.gw[oc*q2+q] += gw
 			}
-			gwRow[q] += gw
 		}
-	}
+	})
 
-	// col2im: scatter patch gradients back to input positions.
+	// col2im: scatter patch gradients back to input positions. Kernel taps
+	// of one input channel overlap in the input plane, so parallelism is
+	// across input channels only (disjoint xBase ranges); within a channel
+	// the serial tap order is preserved.
 	in := make([]float64, c.InDim())
-	for ic := 0; ic < c.inC; ic++ {
-		xBase := ic * c.inH * c.inW
-		for ky := 0; ky < c.k; ky++ {
-			for kx := 0; kx < c.k; kx++ {
-				row := ((ic*c.k+ky)*c.k + kx) * area
-				for oy := 0; oy < c.outH; oy++ {
-					iy := oy*c.stride - c.pad + ky
-					if iy < 0 || iy >= c.inH {
-						continue
-					}
-					src := row + oy*c.outW
-					xRow := xBase + iy*c.inW
-					for ox := 0; ox < c.outW; ox++ {
-						ix := ox*c.stride - c.pad + kx
-						if ix < 0 || ix >= c.inW {
+	parallel.For(c.inC, 1, func(iclo, ichi int) {
+		for ic := iclo; ic < ichi; ic++ {
+			xBase := ic * c.inH * c.inW
+			for ky := 0; ky < c.k; ky++ {
+				for kx := 0; kx < c.k; kx++ {
+					row := ((ic*c.k+ky)*c.k + kx) * area
+					for oy := 0; oy < c.outH; oy++ {
+						iy := oy*c.stride - c.pad + ky
+						if iy < 0 || iy >= c.inH {
 							continue
 						}
-						in[xRow+ix] += dcols[src+ox]
+						src := row + oy*c.outW
+						xRow := xBase + iy*c.inW
+						for ox := 0; ox < c.outW; ox++ {
+							ix := ox*c.stride - c.pad + kx
+							if ix < 0 || ix >= c.inW {
+								continue
+							}
+							in[xRow+ix] += dcols[src+ox]
+						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return in
 }
 

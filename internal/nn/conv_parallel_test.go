@@ -1,0 +1,71 @@
+package nn
+
+import (
+	"testing"
+
+	"deta/internal/parallel"
+)
+
+// Conv2D's im2col/forward/backward kernels are parallelized over disjoint
+// rows/channels with unchanged per-cell accumulation order, so outputs,
+// weight gradients, and input gradients must be bit-identical across worker
+// counts. The numeric gradient checks in gradcheck_test.go pin correctness;
+// this pins serial/parallel equivalence.
+func TestConvParallelMatchesSerial(t *testing.T) {
+	build := func() *Conv2D {
+		c := NewConv2D("c", 3, 9, 9, 4, 3, 2, 1)
+		s := 0.37
+		for i := range c.w {
+			s = s*1.9 + 0.21 - float64(int(s*1.9+0.21))
+			c.w[i] = s - 0.5
+		}
+		for i := range c.b {
+			c.b[i] = float64(i)*0.125 - 0.2
+		}
+		return c
+	}
+	x := make([]float64, 3*9*9)
+	v := 0.11
+	for i := range x {
+		v = v*1.3 + 0.17 - float64(int(v*1.3+0.17))
+		x[i] = v - 0.5
+	}
+
+	ref := build()
+	prev := parallel.SetWorkers(1)
+	refOut := ref.Forward(x, true)
+	refGrad := make([]float64, len(refOut))
+	for i := range refGrad {
+		refGrad[i] = float64(i%5)*0.25 - 0.5
+	}
+	refIn := ref.Backward(refGrad)
+	parallel.SetWorkers(prev)
+
+	for _, workers := range []int{2, 4, 9} {
+		parallel.SetWorkers(workers)
+		c := build()
+		out := c.Forward(x, true)
+		for i := range refOut {
+			if out[i] != refOut[i] {
+				t.Fatalf("workers=%d: forward[%d] = %v, serial %v", workers, i, out[i], refOut[i])
+			}
+		}
+		in := c.Backward(refGrad)
+		for i := range refIn {
+			if in[i] != refIn[i] {
+				t.Fatalf("workers=%d: input grad[%d] = %v, serial %v", workers, i, in[i], refIn[i])
+			}
+		}
+		for i := range ref.gw {
+			if c.gw[i] != ref.gw[i] {
+				t.Fatalf("workers=%d: weight grad[%d] = %v, serial %v", workers, i, c.gw[i], ref.gw[i])
+			}
+		}
+		for i := range ref.gb {
+			if c.gb[i] != ref.gb[i] {
+				t.Fatalf("workers=%d: bias grad[%d] = %v, serial %v", workers, i, c.gb[i], ref.gb[i])
+			}
+		}
+		parallel.SetWorkers(prev)
+	}
+}

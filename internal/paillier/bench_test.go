@@ -1,0 +1,93 @@
+package paillier
+
+import (
+	"fmt"
+	"testing"
+
+	"deta/internal/parallel"
+)
+
+func benchKey(b *testing.B) *PrivateKey {
+	b.Helper()
+	sk, err := GenerateKey(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sk
+}
+
+func benchVec(n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i%23)*0.5 - 5
+	}
+	return xs
+}
+
+// Each element of a vector op is an independent big-int Exp — the dominant
+// cost Figure 5f measures. These benchmarks pin the per-kernel scaling
+// across worker counts (see EXPERIMENTS.md).
+func BenchmarkEncryptVector(b *testing.B) {
+	sk := benchKey(b)
+	xs := benchVec(64)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			prev := parallel.SetWorkers(workers)
+			defer parallel.SetWorkers(prev)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sk.EncryptVector(xs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecryptVector(b *testing.B) {
+	sk := benchKey(b)
+	cts, err := sk.EncryptVector(benchVec(64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			prev := parallel.SetWorkers(workers)
+			defer parallel.SetWorkers(prev)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sk.DecryptVector(cts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAddVectors(b *testing.B) {
+	sk := benchKey(b)
+	xs := benchVec(256)
+	var vecs [][]*Ciphertext
+	for p := 0; p < 4; p++ {
+		cts, err := sk.EncryptVector(xs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vecs = append(vecs, cts)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			prev := parallel.SetWorkers(workers)
+			defer parallel.SetWorkers(prev)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sk.AddVectors(vecs...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+
+	"deta/internal/parallel"
 )
 
 var one = big.NewInt(1)
@@ -132,9 +134,18 @@ func (pk *PublicKey) Add(a, b *Ciphertext) *Ciphertext {
 	return &Ciphertext{C: c}
 }
 
-// MulConst returns the ciphertext of k*a for plaintext scalar k >= 0.
-func (pk *PublicKey) MulConst(a *Ciphertext, k *big.Int) *Ciphertext {
-	return &Ciphertext{C: new(big.Int).Exp(a.C, k, pk.N2)}
+// MulConst returns the ciphertext of k*a for plaintext scalar k >= 0. A
+// negative k is rejected: big.Int.Exp with a negative exponent would
+// silently compute a modular inverse, yielding a ciphertext of -|k|*a's
+// inverse rather than an error.
+func (pk *PublicKey) MulConst(a *Ciphertext, k *big.Int) (*Ciphertext, error) {
+	if a == nil || a.C == nil {
+		return nil, errors.New("paillier: nil ciphertext")
+	}
+	if k.Sign() < 0 {
+		return nil, fmt.Errorf("paillier: negative scalar %v in MulConst", k)
+	}
+	return &Ciphertext{C: new(big.Int).Exp(a.C, k, pk.N2)}, nil
 }
 
 // --- Fixed-point float encoding ---------------------------------------
@@ -155,9 +166,10 @@ func (pk *PublicKey) EncodeFloat(x float64, fracBits uint) (*big.Int, error) {
 	return m, nil
 }
 
-// DecodeFloat reverses EncodeFloat. sumCount bounds how many encoded values
-// may have been added homomorphically: values in the top half of the range
-// minus headroom decode as negative.
+// DecodeFloat reverses EncodeFloat: plaintexts in the top half of [0, N)
+// decode as negative values, mirroring two's complement. Homomorphic sums
+// of encoded values decode correctly as long as the true sum stays within
+// (-N/2, N/2) at the fixed-point scale.
 func (pk *PublicKey) DecodeFloat(m *big.Int, fracBits uint) float64 {
 	half := new(big.Int).Rsh(pk.N, 1)
 	v := new(big.Int).Set(m)
@@ -171,36 +183,37 @@ func (pk *PublicKey) DecodeFloat(m *big.Int, fracBits uint) float64 {
 }
 
 // EncryptVector encrypts a float vector with FracBits fixed-point scaling.
+// Elements are independent big-int exponentiations — the dominant cost of
+// Paillier fusion (Figure 5f) — so they are encrypted in parallel; each
+// element draws its own randomness from crypto/rand, which is safe for
+// concurrent use.
 func (pk *PublicKey) EncryptVector(xs []float64) ([]*Ciphertext, error) {
-	out := make([]*Ciphertext, len(xs))
-	for i, x := range xs {
+	return parallel.MapErr(xs, 1, func(i int, x float64) (*Ciphertext, error) {
 		m, err := pk.EncodeFloat(x, FracBits)
 		if err != nil {
 			return nil, fmt.Errorf("paillier: element %d: %w", i, err)
 		}
-		ct, err := pk.Encrypt(m)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = ct
-	}
-	return out, nil
+		return pk.Encrypt(m)
+	})
 }
 
-// DecryptVector decrypts a ciphertext vector back to floats.
+// DecryptVector decrypts a ciphertext vector back to floats. Elements are
+// decrypted in parallel; decryption is deterministic, so the result is
+// identical to the serial loop.
 func (sk *PrivateKey) DecryptVector(cts []*Ciphertext) ([]float64, error) {
-	out := make([]float64, len(cts))
-	for i, ct := range cts {
+	return parallel.MapErr(cts, 1, func(i int, ct *Ciphertext) (float64, error) {
 		m, err := sk.Decrypt(ct)
 		if err != nil {
-			return nil, fmt.Errorf("paillier: element %d: %w", i, err)
+			return 0, fmt.Errorf("paillier: element %d: %w", i, err)
 		}
-		out[i] = sk.DecodeFloat(m, FracBits)
-	}
-	return out, nil
+		return sk.DecodeFloat(m, FracBits), nil
+	})
 }
 
 // AddVectors returns the elementwise homomorphic sum of ciphertext vectors.
+// Coordinates are summed in parallel; within a coordinate the vectors are
+// multiplied in input order (modular products commute anyway, so the result
+// is identical regardless).
 func (pk *PublicKey) AddVectors(vs ...[]*Ciphertext) ([]*Ciphertext, error) {
 	if len(vs) == 0 {
 		return nil, errors.New("paillier: no vectors to add")
@@ -212,12 +225,14 @@ func (pk *PublicKey) AddVectors(vs ...[]*Ciphertext) ([]*Ciphertext, error) {
 		}
 	}
 	out := make([]*Ciphertext, n)
-	for i := 0; i < n; i++ {
-		acc := vs[0][i]
-		for _, v := range vs[1:] {
-			acc = pk.Add(acc, v[i])
+	parallel.For(n, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			acc := vs[0][i]
+			for _, v := range vs[1:] {
+				acc = pk.Add(acc, v[i])
+			}
+			out[i] = acc
 		}
-		out[i] = acc
-	}
+	})
 	return out, nil
 }

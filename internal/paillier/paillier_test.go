@@ -88,12 +88,41 @@ func TestHomomorphicAdd(t *testing.T) {
 func TestHomomorphicScalarMul(t *testing.T) {
 	sk := key(t)
 	a, _ := sk.Encrypt(big.NewInt(7))
-	got, err := sk.Decrypt(sk.MulConst(a, big.NewInt(6)))
+	ct, err := sk.MulConst(a, big.NewInt(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(ct)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Int64() != 42 {
 		t.Fatalf("Dec(6*Enc(7)) = %v", got)
+	}
+}
+
+// Regression: a negative scalar used to be passed straight to big.Int.Exp,
+// which silently computes a modular inverse instead of k*a. It must error.
+func TestMulConstRejectsNegativeScalar(t *testing.T) {
+	sk := key(t)
+	a, _ := sk.Encrypt(big.NewInt(7))
+	if _, err := sk.MulConst(a, big.NewInt(-2)); err == nil {
+		t.Fatal("negative scalar accepted")
+	}
+	if _, err := sk.MulConst(nil, big.NewInt(2)); err == nil {
+		t.Fatal("nil ciphertext accepted")
+	}
+	// Zero stays valid: Dec(0*Enc(7)) == 0.
+	ct, err := sk.MulConst(a, big.NewInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sk.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sign() != 0 {
+		t.Fatalf("Dec(0*Enc(7)) = %v, want 0", got)
 	}
 }
 

@@ -1,0 +1,113 @@
+package paillier
+
+import (
+	"math"
+	"testing"
+
+	"deta/internal/parallel"
+)
+
+// The vector kernels are embarrassingly parallel big-int loops. Encryption
+// is randomized, so "equivalence" is semantic (decrypt round-trips to the
+// same plaintexts); decryption and homomorphic addition are deterministic,
+// so those must be value-identical across worker counts.
+func TestVectorKernelsAcrossWorkerCounts(t *testing.T) {
+	sk := key(t)
+	xs := []float64{0, 1.25, -2.5, 3.75, -0.125, 100.5, -99.875, 0.0625, 7, -13}
+	ys := []float64{1, -1.25, 2.5, -3.75, 0.125, -100.5, 99.875, -0.0625, 0.5, 13}
+
+	// Ciphertexts encrypted once (serially), then decrypted and summed under
+	// every worker count; results must match the serial ground truth exactly.
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	cx, err := sk.EncryptVector(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cy, err := sk.EncryptVector(ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialSum, err := sk.AddVectors(cx, cy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialDec, err := sk.DecryptVector(serialSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 3, 8} {
+		parallel.SetWorkers(workers)
+		sum, err := sk.AddVectors(cx, cy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sum {
+			if sum[i].C.Cmp(serialSum[i].C) != 0 {
+				t.Fatalf("workers=%d: AddVectors element %d differs from serial", workers, i)
+			}
+		}
+		dec, err := sk.DecryptVector(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range dec {
+			if dec[i] != serialDec[i] {
+				t.Fatalf("workers=%d: DecryptVector element %d: %v != %v", workers, i, dec[i], serialDec[i])
+			}
+			if math.Abs(dec[i]-(xs[i]+ys[i])) > 1e-9 {
+				t.Fatalf("workers=%d: element %d decodes to %v, want %v", workers, i, dec[i], xs[i]+ys[i])
+			}
+		}
+		// Parallel encryption round-trips (fresh randomness per element, so
+		// only the plaintexts are comparable).
+		cts, err := sk.EncryptVector(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := sk.DecryptVector(cts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range back {
+			if math.Abs(back[i]-xs[i]) > 1e-9 {
+				t.Fatalf("workers=%d: encrypt/decrypt round-trip %v -> %v", workers, xs[i], back[i])
+			}
+		}
+	}
+}
+
+// Errors surface deterministically from parallel loops: the lowest-indexed
+// failing element wins regardless of scheduling.
+func TestEncryptVectorParallelError(t *testing.T) {
+	sk := key(t)
+	prev := parallel.SetWorkers(4)
+	defer parallel.SetWorkers(prev)
+	xs := []float64{1, 2, math.NaN(), 4, math.Inf(1), 6}
+	_, err := sk.EncryptVector(xs)
+	if err == nil {
+		t.Fatal("NaN accepted")
+	}
+	want := "paillier: element 2"
+	if got := err.Error(); len(got) < len(want) || got[:len(want)] != want {
+		t.Fatalf("err = %q, want prefix %q (lowest failing element)", got, want)
+	}
+}
+
+func TestDecryptVectorParallelError(t *testing.T) {
+	sk := key(t)
+	prev := parallel.SetWorkers(4)
+	defer parallel.SetWorkers(prev)
+	cts, err := sk.EncryptVector([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts[1] = nil
+	cts[3] = &Ciphertext{}
+	if _, err := sk.DecryptVector(cts); err == nil {
+		t.Fatal("nil ciphertext accepted")
+	} else if want := "paillier: element 1"; err.Error()[:len(want)] != want {
+		t.Fatalf("err = %q, want prefix %q", err.Error(), want)
+	}
+}

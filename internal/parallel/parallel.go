@@ -1,0 +1,235 @@
+// Package parallel provides the chunked data-parallel substrate for the
+// compute-heavy kernels in this repository: coordinate-wise aggregation,
+// Paillier vector crypto, the partition/shuffle transform pipeline, and
+// convolution lowering. It mirrors, for the compute plane, what the
+// multiplexed transport does for the wire plane (DESIGN.md §7): work is
+// split into independent chunks that run on a small reusable worker pool,
+// and the cost of a kernel approaches the slowest chunk rather than the sum.
+//
+// Every helper here preserves bit-identical results with respect to the
+// serial loop it replaces: chunks never split a single element's
+// computation, and no floating-point accumulation order crosses a chunk
+// boundary. That is the same structural property (coordinate independence)
+// DeTA itself relies on to make decentralized aggregation exact, so kernels
+// parallelized through this package stay exactly equivalent to their serial
+// forms — enforced by the serial-vs-parallel property tests in each package.
+//
+// Scheduling model: For splits [0,n) into at most Workers() contiguous
+// chunks of at least grain elements. The calling goroutine always claims
+// chunks itself (so nested For calls can never deadlock: the innermost
+// caller drains its own job even if every pool worker is busy), while idle
+// pool workers steal the remaining chunks. Below the grain threshold, or
+// with Workers() == 1, the loop runs serially inline with zero overhead.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultGrain is a reasonable minimum chunk size for cheap per-element
+// work (a few arithmetic ops per element). Kernels with expensive elements
+// (a sort, a big-int Exp) should pass a much smaller grain, down to 1.
+const DefaultGrain = 2048
+
+var (
+	// maxWorkers caps how many goroutines (caller included) participate in
+	// one For call. Defaults to GOMAXPROCS at package init; SetWorkers
+	// overrides it (tests use this to force serial and oversubscribed runs).
+	maxWorkers atomic.Int64
+
+	poolMu  sync.Mutex
+	spawned int         // pool goroutines started so far (they never exit)
+	tasks   chan func() // pending helper invitations
+)
+
+func init() {
+	maxWorkers.Store(int64(runtime.GOMAXPROCS(0)))
+	tasks = make(chan func(), 256)
+}
+
+// Workers returns the current worker cap (including the caller).
+func Workers() int { return int(maxWorkers.Load()) }
+
+// SetWorkers sets the worker cap and returns the previous value. n < 1 is
+// clamped to 1 (fully serial). Intended for tests and tuning; the default
+// of GOMAXPROCS is right for production use.
+func SetWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(maxWorkers.Swap(int64(n)))
+}
+
+// poolWorker runs helper invitations forever. Workers are spawned lazily up
+// to the cap and then reused for the life of the process; an idle worker
+// parks on the channel and costs nothing.
+func poolWorker() {
+	for f := range tasks {
+		f()
+	}
+}
+
+// invite asks up to k pool workers to help run f. Invitations are
+// best-effort: if the queue is full the caller simply proceeds with fewer
+// helpers, and a helper that arrives after the job is drained returns
+// immediately.
+func invite(k int, f func()) {
+	w := Workers()
+	poolMu.Lock()
+	for spawned < w-1 { // the caller itself is one worker
+		spawned++
+		go poolWorker()
+	}
+	poolMu.Unlock()
+	for i := 0; i < k; i++ {
+		select {
+		case tasks <- f:
+		default:
+			return
+		}
+	}
+}
+
+// job is one For invocation: an atomically claimed sequence of chunks.
+type job struct {
+	fn   func(lo, hi int)
+	n    int
+	size int
+	next atomic.Int64
+	wg   sync.WaitGroup
+
+	panicMu  sync.Mutex
+	panicked bool
+	panicVal any // first recovered panic, re-raised by the caller
+}
+
+// run claims and executes chunks until the job is drained. Executed by the
+// caller and by any pool workers that accepted the invitation.
+func (j *job) run() {
+	for {
+		lo := int(j.next.Add(int64(j.size))) - j.size
+		if lo >= j.n {
+			return
+		}
+		hi := lo + j.size
+		if hi > j.n {
+			hi = j.n
+		}
+		j.runChunk(lo, hi)
+	}
+}
+
+func (j *job) runChunk(lo, hi int) {
+	defer j.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			j.panicMu.Lock()
+			if !j.panicked {
+				j.panicked, j.panicVal = true, r
+			}
+			j.panicMu.Unlock()
+		}
+	}()
+	j.fn(lo, hi)
+}
+
+// For runs fn over contiguous index ranges covering [0, n) exactly once,
+// in parallel across at most Workers() goroutines. fn must be safe to call
+// concurrently on disjoint ranges. If n <= grain (or only one worker is
+// configured) the whole range runs inline on the caller. grain < 1 is
+// treated as 1. A panic in fn is re-raised on the calling goroutine after
+// all chunks finish.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	w := Workers()
+	chunks := (n + grain - 1) / grain
+	if w <= 1 || chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	if chunks > w {
+		chunks = w
+	}
+	size := (n + chunks - 1) / chunks
+	chunks = (n + size - 1) / size // final chunk count at this size
+	j := &job{fn: fn, n: n, size: size}
+	j.wg.Add(chunks)
+	invite(chunks-1, j.run)
+	j.run()
+	j.wg.Wait()
+	if j.panicked {
+		panic(j.panicVal)
+	}
+}
+
+// ForErr is For with an error-returning body. The error returned is the one
+// from the lowest-indexed failing range (deterministic regardless of
+// scheduling); other chunks still run to completion.
+func ForErr(n, grain int, fn func(lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	type slot struct {
+		lo  int
+		err error
+	}
+	var (
+		mu    sync.Mutex
+		first *slot
+	)
+	For(n, grain, func(lo, hi int) {
+		if err := fn(lo, hi); err != nil {
+			mu.Lock()
+			if first == nil || lo < first.lo {
+				first = &slot{lo: lo, err: err}
+			}
+			mu.Unlock()
+		}
+	})
+	if first != nil {
+		return first.err
+	}
+	return nil
+}
+
+// Map applies fn to every element of xs in parallel and returns the
+// results in order. fn receives the element index and value.
+func Map[T, R any](xs []T, grain int, fn func(i int, x T) R) []R {
+	out := make([]R, len(xs))
+	For(len(xs), grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = fn(i, xs[i])
+		}
+	})
+	return out
+}
+
+// MapErr is Map with an error-returning body; on error it returns the
+// error from the lowest-indexed failing element.
+func MapErr[T, R any](xs []T, grain int, fn func(i int, x T) (R, error)) ([]R, error) {
+	out := make([]R, len(xs))
+	err := ForErr(len(xs), grain, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			r, err := fn(i, xs[i])
+			if err != nil {
+				return err
+			}
+			out[i] = r
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

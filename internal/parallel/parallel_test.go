@@ -1,0 +1,198 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// withWorkers runs f under a temporary worker cap, restoring the old one.
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	prev := SetWorkers(n)
+	defer SetWorkers(prev)
+	f()
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		for _, grain := range []int{0, 1, 3, 100, 1 << 20} {
+			for _, n := range []int{0, 1, 2, 7, 100, 1023} {
+				withWorkers(t, workers, func() {
+					hits := make([]int32, n)
+					For(n, grain, func(lo, hi int) {
+						if lo < 0 || hi > n || lo >= hi {
+							t.Errorf("bad range [%d,%d) for n=%d", lo, hi, n)
+						}
+						for i := lo; i < hi; i++ {
+							atomic.AddInt32(&hits[i], 1)
+						}
+					})
+					for i, h := range hits {
+						if h != 1 {
+							t.Fatalf("workers=%d grain=%d n=%d: index %d visited %d times",
+								workers, grain, n, i, h)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestForMatchesSerialSum(t *testing.T) {
+	// Chunked parallel accumulation into per-index slots must reproduce the
+	// serial result bit-for-bit for any worker count and grain.
+	f := func(seed uint16, workersRaw, grainRaw uint8) bool {
+		n := int(seed%500) + 1
+		workers := int(workersRaw%8) + 1
+		grain := int(grainRaw % 64) // includes 0
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i%17) * 0.25
+		}
+		want := make([]float64, n)
+		for i := range xs {
+			want[i] = xs[i] * 3
+		}
+		prev := SetWorkers(workers)
+		defer SetWorkers(prev)
+		got := make([]float64, n)
+		For(n, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				got[i] = xs[i] * 3
+			}
+		})
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	withWorkers(t, 4, func() {
+		var total atomic.Int64
+		For(8, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				For(16, 1, func(lo2, hi2 int) {
+					total.Add(int64(hi2 - lo2))
+				})
+			}
+		})
+		if total.Load() != 8*16 {
+			t.Fatalf("nested For covered %d of %d", total.Load(), 8*16)
+		}
+	})
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	withWorkers(t, 4, func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Fatalf("recovered %v, want boom", r)
+			}
+		}()
+		For(32, 1, func(lo, hi int) {
+			if lo == 0 {
+				panic("boom")
+			}
+		})
+		t.Fatal("For returned despite panic")
+	})
+}
+
+func TestForErrReturnsLowestIndexedError(t *testing.T) {
+	withWorkers(t, 4, func() {
+		err := ForErr(100, 1, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if i >= 40 {
+					return fmt.Errorf("element %d failed", i)
+				}
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("ForErr swallowed the error")
+		}
+		// Element 40 is the first failure, so whichever chunk holds it is the
+		// lowest-indexed failing range regardless of chunk layout/scheduling.
+		if got := err.Error(); got != "element 40 failed" {
+			t.Fatalf("err = %q, want the lowest-indexed chunk's error", got)
+		}
+	})
+	if err := ForErr(10, 1, func(lo, hi int) error { return nil }); err != nil {
+		t.Fatalf("ForErr on success = %v", err)
+	}
+}
+
+func TestMap(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		withWorkers(t, workers, func() {
+			xs := make([]int, 257)
+			for i := range xs {
+				xs[i] = i
+			}
+			out := Map(xs, 1, func(i, x int) int { return x * x })
+			for i, v := range out {
+				if v != i*i {
+					t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+				}
+			}
+		})
+	}
+}
+
+func TestMapErr(t *testing.T) {
+	sentinel := errors.New("bad element")
+	withWorkers(t, 4, func() {
+		xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+		if _, err := MapErr(xs, 1, func(i, x int) (int, error) {
+			if x >= 5 {
+				return 0, sentinel
+			}
+			return x + 1, nil
+		}); !errors.Is(err, sentinel) {
+			t.Fatalf("err = %v, want sentinel", err)
+		}
+		out, err := MapErr(xs, 3, func(i, x int) (int, error) { return x * 2, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != xs[i]*2 {
+				t.Fatalf("out[%d] = %d", i, v)
+			}
+		}
+	})
+}
+
+func TestSetWorkersClampsAndRestores(t *testing.T) {
+	prev := SetWorkers(0) // clamped to 1
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(0)", Workers())
+	}
+	SetWorkers(prev)
+	if Workers() != prev {
+		t.Fatalf("Workers() = %d, want restored %d", Workers(), prev)
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	called := false
+	For(0, 1, func(lo, hi int) { called = true })
+	For(-5, 1, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("For invoked fn for n <= 0")
+	}
+	if err := ForErr(0, 1, func(lo, hi int) error { return errors.New("x") }); err != nil {
+		t.Fatal("ForErr invoked fn for n = 0")
+	}
+}

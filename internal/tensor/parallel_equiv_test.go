@@ -1,0 +1,84 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"deta/internal/parallel"
+)
+
+func serialWeightedSum(vs []Vector, w []float64) Vector {
+	n := len(vs[0])
+	out := make(Vector, n)
+	for k, v := range vs {
+		for i := range v {
+			out[i] += w[k] * v[i]
+		}
+	}
+	return out
+}
+
+// Property: WeightedSum is bit-identical to the serial k-outer loop for any
+// worker count, vector count, and length — including lengths straddling the
+// chunk grain. Chunking splits coordinates, never a coordinate's
+// accumulation, so no float ordering changes.
+func TestWeightedSumParallelMatchesSerial(t *testing.T) {
+	f := func(seed uint16, kRaw, workersRaw uint8, nRaw uint16) bool {
+		k := int(kRaw%6) + 1
+		workers := int(workersRaw%9) + 1
+		n := int(nRaw%(3*parallel.DefaultGrain)) + 1
+		vs := make([]Vector, k)
+		w := make([]float64, k)
+		x := float64(seed%97) * 0.001
+		for p := range vs {
+			w[p] = float64(p+1) * 0.33
+			v := make(Vector, n)
+			for i := range v {
+				x = x*1.7 + 0.3 - float64(int(x)) // cheap deterministic wander
+				v[i] = x - 0.5
+			}
+			vs[p] = v
+		}
+		want := serialWeightedSum(vs, w)
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		got, err := WeightedSum(vs, w)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedSumGrainBoundaries(t *testing.T) {
+	prev := parallel.SetWorkers(5)
+	defer parallel.SetWorkers(prev)
+	for _, n := range []int{1, parallel.DefaultGrain - 1, parallel.DefaultGrain,
+		parallel.DefaultGrain + 1, 5*parallel.DefaultGrain + 7} {
+		vs := []Vector{make(Vector, n), make(Vector, n), make(Vector, n)}
+		for p, v := range vs {
+			for i := range v {
+				v[i] = float64((i*7+p*13)%101) * 0.125
+			}
+		}
+		w := []float64{0.25, 0.5, 0.25}
+		want := serialWeightedSum(vs, w)
+		got, err := WeightedSum(vs, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: coordinate %d differs", n, i)
+			}
+		}
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"deta/internal/parallel"
 )
 
 // Vector is a flat slice of float64 parameters. It is the unit of exchange
@@ -245,7 +247,9 @@ func Sign(v Vector) Vector {
 }
 
 // WeightedSum returns sum_i w[i]*vs[i]. All vectors must share a length and
-// len(w) must equal len(vs).
+// len(w) must equal len(vs). Coordinates are accumulated in parallel chunks;
+// within each coordinate the vectors are summed in input order, so the
+// result is bit-identical to the serial loop.
 func WeightedSum(vs []Vector, w []float64) (Vector, error) {
 	if len(vs) == 0 {
 		return nil, errors.New("tensor: weighted sum of zero vectors")
@@ -254,15 +258,20 @@ func WeightedSum(vs []Vector, w []float64) (Vector, error) {
 		return nil, fmt.Errorf("tensor: %d vectors but %d weights", len(vs), len(w))
 	}
 	n := len(vs[0])
-	out := make(Vector, n)
 	for k, v := range vs {
 		if len(v) != n {
 			return nil, fmt.Errorf("%w: vector %d has length %d, want %d", ErrLength, k, len(v), n)
 		}
-		for i := range v {
-			out[i] += w[k] * v[i]
-		}
 	}
+	out := make(Vector, n)
+	parallel.For(n, parallel.DefaultGrain, func(lo, hi int) {
+		for k, v := range vs {
+			wk := w[k]
+			for i := lo; i < hi; i++ {
+				out[i] += wk * v[i]
+			}
+		}
+	})
 	return out, nil
 }
 
