@@ -1,0 +1,27 @@
+# Standard entry points; scripts/check.sh is the single source of truth
+# for the full verification gate.
+
+.PHONY: build test race chaos bench check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# The chaos end-to-end test: injected drops/delays/severs (fixed seed
+# 0xDE7A) plus two aggregator kill+restarts mid-round; the recovered
+# model must be bit-identical to a fault-free run.
+chaos:
+	go test -race -count=1 -run 'TestChaosRestartBitIdenticalModel' -v ./internal/core
+
+# Journal-overhead benchmarks recorded in EXPERIMENTS.md.
+bench:
+	go test -bench 'BenchmarkAppend' -run xxx ./internal/journal
+	go test -bench 'BenchmarkUpload' -run xxx ./internal/core
+
+check:
+	sh scripts/check.sh

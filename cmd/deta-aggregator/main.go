@@ -12,14 +12,18 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"deta/internal/agg"
 	"deta/internal/core"
+	"deta/internal/journal"
 	"deta/internal/sev"
 	"deta/internal/transport"
 )
@@ -35,6 +39,9 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated follower list id=addr (initiator only)")
 	dialTimeout := flag.Duration("dial-timeout", 30*time.Second, "total budget for dialing the AP and each follower (with backoff)")
 	peerTimeout := flag.Duration("peer-timeout", 2*time.Minute, "deadline for synchronizing one follower's round fusion")
+	stateDir := flag.String("state-dir", "", "directory for the durable round journal; a restarted aggregator recovers its rounds from it (empty = in-memory only)")
+	retain := flag.Int("retain", 0, "evict aggregated rounds older than N from memory (0 = keep all; the journal stays the durable copy)")
+	noFsync := flag.Bool("journal-no-fsync", false, "skip the per-record journal fsync (survives process crashes only; benchmarking)")
 	flag.Parse()
 
 	log.SetPrefix(fmt.Sprintf("deta-aggregator[%s]: ", *id))
@@ -82,9 +89,24 @@ func main() {
 	}
 	log.Printf("CVM attested and provisioned; state=%s", cvm.State())
 
-	node, err := core.NewAggregatorNode(*id, alg, cvm)
-	if err != nil {
-		log.Fatalf("starting aggregation service: %v", err)
+	var node *core.AggregatorNode
+	if *stateDir != "" {
+		var info *core.RecoveryInfo
+		node, info, err = core.RecoverAggregatorNode(*id, alg, cvm,
+			core.StateDirFor(*stateDir, *id), journal.Options{NoSync: *noFsync})
+		if err != nil {
+			log.Fatalf("starting aggregation service: %v", err)
+		}
+		log.Printf("journal recovered: %d parties, %d rounds in memory (%d aggregated, last %d), %d fetches served, torn tail=%v",
+			info.Parties, info.Rounds, info.Aggregated, info.LastAggregated, info.FetchesServed, info.TornTail)
+	} else {
+		node, err = core.NewAggregatorNode(*id, alg, cvm)
+		if err != nil {
+			log.Fatalf("starting aggregation service: %v", err)
+		}
+	}
+	if *retain > 0 {
+		node.SetRetention(*retain)
 	}
 	srv := transport.NewServer()
 	core.ServeAggregator(node, srv)
@@ -94,7 +116,10 @@ func main() {
 		if err != nil {
 			log.Fatalf("dialing followers: %v", err)
 		}
-		startInitiatorSync(node, followers, *peerTimeout)
+		// Resume sync past rounds the recovered journal already fused —
+		// evicted rounds would otherwise never report Complete and wedge
+		// the initiator at round 1.
+		startInitiatorSync(node, followers, *peerTimeout, node.LastAggregatedRound()+1)
 		log.Printf("acting as initiator with %d followers", len(followers))
 	}
 	cancelDial()
@@ -139,40 +164,69 @@ func dialPeers(ctx context.Context, mat *transport.TLSMaterials, spec, tlsName s
 		if err != nil {
 			return nil, fmt.Errorf("dialing follower %s at %s: %w", id, addr, err)
 		}
-		out[id] = &core.AggregatorClient{ID: id, C: c}
+		// Redial lets the sync loop reach a follower that crashed and
+		// restarted (it recovers its rounds from its journal and resumes).
+		out[id] = &core.AggregatorClient{ID: id, C: c, Redial: func(ctx context.Context) (net.Conn, error) {
+			d := &tls.Dialer{Config: mat.ClientConfig(tlsName)}
+			return d.DialContext(ctx, "tcp", addr)
+		}}
 	}
 	return out, nil
 }
 
-// startInitiatorSync polls round completeness and, once the local node has
-// all uploads for a round, fuses locally and instructs all followers to
-// fuse concurrently — the sync cost is the slowest follower, not the sum.
-func startInitiatorSync(node *core.AggregatorNode, followers map[string]*core.AggregatorClient, peerTimeout time.Duration) {
+// startInitiatorSync polls round completeness and fuses the local node as
+// soon as each round has all uploads; every follower then catches up on
+// its own goroutine, so a slow or dead follower never stalls the healthy
+// ones (parties degrade through their own -agg-quorum), while a follower
+// that crashes and restarts is re-driven — not abandoned — until it has
+// fused every round (fusion is idempotent on both sides, and the
+// restarted follower recovers its uploads from its journal). startRound
+// lets a journal-recovered initiator resume past rounds it already fused
+// before the crash.
+func startInitiatorSync(node *core.AggregatorNode, followers map[string]*core.AggregatorClient, peerTimeout time.Duration, startRound int) {
+	if startRound < 1 {
+		startRound = 1
+	}
+	var latestFused atomic.Int64
+	latestFused.Store(int64(startRound - 1))
+
+	for id, f := range followers {
+		id, f := id, f
+		go func() {
+			next := startRound
+			var failures int
+			for {
+				if int64(next) > latestFused.Load() {
+					time.Sleep(20 * time.Millisecond)
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), peerTimeout)
+				err := syncFollower(ctx, f, next)
+				cancel()
+				if err != nil {
+					if failures++; failures == 1 || failures%50 == 0 {
+						log.Printf("round %d: follower %s: %v (retrying)", next, id, err)
+					}
+					time.Sleep(200 * time.Millisecond)
+					continue
+				}
+				failures = 0
+				next++
+			}
+		}()
+	}
+
 	go func() {
-		synced := make(map[int]bool)
-		round := 1
+		round := startRound
 		for {
-			if !synced[round] && node.Complete(round) {
+			if node.Complete(round) {
 				if err := node.Aggregate(round); err != nil {
 					log.Printf("round %d: local aggregate: %v", round, err)
+					time.Sleep(20 * time.Millisecond)
+					continue
 				}
-				var g core.Group
-				for id, f := range followers {
-					id, f, round := id, f, round
-					g.Go(func() error {
-						ctx, cancel := context.WithTimeout(context.Background(), peerTimeout)
-						defer cancel()
-						if err := syncFollower(ctx, f, round); err != nil {
-							return fmt.Errorf("follower %s: %w", id, err)
-						}
-						return nil
-					})
-				}
-				if err := g.Wait(); err != nil {
-					log.Printf("round %d: %v", round, err)
-				}
-				log.Printf("round %d fused across %d aggregators", round, len(followers)+1)
-				synced[round] = true
+				latestFused.Store(int64(round))
+				log.Printf("round %d fused locally; followers syncing", round)
 				round++
 				continue
 			}

@@ -16,9 +16,12 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"sort"
 	"strings"
 	"time"
@@ -28,6 +31,7 @@ import (
 	"deta/internal/dataset"
 	"deta/internal/fl"
 	"deta/internal/nn"
+	"deta/internal/tensor"
 	"deta/internal/transport"
 )
 
@@ -145,18 +149,25 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Fan the K fragment uploads out concurrently (quorum-tolerant).
-		if err := fleet.UploadAll(ctx, round, *id, frags, float64(shard.Len())); err != nil {
+		// Fan the K fragment uploads out concurrently (quorum-tolerant),
+		// re-driving the whole fan-out until the round deadline: uploads
+		// are idempotent server-side, so a crashed-and-restarted
+		// aggregator (journal recovery + Redial) is simply retried into.
+		if err := retryStep(ctx, *roundTimeout, round, "upload", func(ctx context.Context) error {
+			return fleet.UploadAll(ctx, round, *id, frags, float64(shard.Len()))
+		}); err != nil {
 			log.Fatalf("round %d: upload: %v", round, err)
 		}
 		// Download aggregated fragments in parallel (the initiator fuses
 		// once enough parties upload; DownloadAll polls until available).
 		// An aggregator lost this round degrades to the party's own
 		// fragment for its partition.
-		dctx, cancel := context.WithTimeout(ctx, *roundTimeout)
-		merged, err := fleet.DownloadAll(dctx, round, *id, frags)
-		cancel()
-		if err != nil {
+		var merged []tensor.Vector
+		if err := retryStep(ctx, *roundTimeout, round, "download", func(ctx context.Context) error {
+			var derr error
+			merged, derr = fleet.DownloadAll(ctx, round, *id, frags)
+			return derr
+		}); err != nil {
 			log.Fatalf("round %d: download: %v", round, err)
 		}
 		global, err = core.InverseTransform(mapper, shuffler, merged, roundID, !*noShuffle)
@@ -168,6 +179,31 @@ func main() {
 	log.Printf("training complete (%d rounds)", *rounds)
 	for _, aggID := range order {
 		log.Printf("link %s: %s", aggID, fleet.Stats()[aggID])
+	}
+}
+
+// retryStep re-drives one round step (a whole fan-out) with jittered
+// backoff until it succeeds or the round deadline expires. Safe because
+// uploads are idempotent and downloads are reads. A verification failure
+// is never retried — an unverifiable aggregator is an adversary.
+func retryStep(ctx context.Context, timeout time.Duration, round int, what string, op func(ctx context.Context) error) error {
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	b := transport.Backoff{Initial: 20 * time.Millisecond, Max: time.Second}
+	var last error
+	for i := 0; ; i++ {
+		if last = op(rctx); last == nil {
+			return nil
+		}
+		if errors.Is(last, core.ErrVerificationFailed) {
+			return last
+		}
+		log.Printf("round %d: %s failed (retrying): %v", round, what, last)
+		select {
+		case <-rctx.Done():
+			return fmt.Errorf("%s: %w (last error: %v)", what, rctx.Err(), last)
+		case <-time.After(b.Delay(i)):
+		}
 	}
 }
 
@@ -191,7 +227,13 @@ func dialAggregators(ctx context.Context, mat *transport.TLSMaterials, spec, tls
 		if err != nil {
 			return nil, nil, fmt.Errorf("dialing %s at %s: %w", id, addr, err)
 		}
-		byID[id] = &core.AggregatorClient{ID: id, C: c}
+		// Redial repairs the link transparently after the aggregator
+		// crashes or restarts; the retry of the interrupted call stays
+		// with the round loop (uploads are idempotent server-side).
+		byID[id] = &core.AggregatorClient{ID: id, C: c, Redial: func(ctx context.Context) (net.Conn, error) {
+			d := &tls.Dialer{Config: mat.ClientConfig(tlsName)}
+			return d.DialContext(ctx, "tcp", addr)
+		}}
 		order = append(order, id)
 	}
 	sort.Strings(order)

@@ -8,6 +8,7 @@ import (
 
 	"deta/internal/agg"
 	"deta/internal/attest"
+	"deta/internal/journal"
 	"deta/internal/sev"
 	"deta/internal/tensor"
 )
@@ -15,6 +16,11 @@ import (
 // AggregatorNode is the aggregation service running inside one SEV CVM. It
 // holds only fragmentary, shuffled views of model updates: it never learns
 // the model architecture, the mapper, or the permutation key.
+//
+// With a Journal attached (RecoverAggregatorNode, or Session's StateDir),
+// every state mutation is committed to the write-ahead log before it is
+// acknowledged, so a crashed-and-restarted aggregator resumes the round
+// exactly where it left off instead of stalling the federation.
 type AggregatorNode struct {
 	ID        string
 	Algorithm agg.Algorithm
@@ -32,6 +38,23 @@ type AggregatorNode struct {
 	// protocols (§8.2): parties with competing workloads or slow hardware
 	// may miss rounds without stalling the federation.
 	quorum int
+
+	// retention, when positive, evicts aggregated rounds older than
+	// (latest aggregated - retention) from memory; the journal remains
+	// the durable copy, so the rounds map stays bounded over long runs.
+	retention int
+
+	// lastAggregated is the highest round this node has fused; it
+	// survives recovery so a restarted initiator resumes sync at the
+	// right round instead of round 1.
+	lastAggregated int
+
+	// journal, when non-nil, is the durable round-state log. Mutations
+	// append to it (fsync-on-commit) before acknowledging.
+	journal *journal.Journal
+	// compactEvery bounds the journal tail before a snapshot+truncate
+	// compaction (0 = default).
+	compactEvery int
 }
 
 type roundState struct {
@@ -45,12 +68,14 @@ var (
 	ErrNotRegistered   = errors.New("core: party not registered with aggregator")
 	ErrRoundIncomplete = errors.New("core: round is missing uploads")
 	ErrNotAggregated   = errors.New("core: round not aggregated yet")
-	ErrDuplicateUpload = errors.New("core: duplicate upload for round")
+	ErrDuplicateUpload = errors.New("core: conflicting duplicate upload for round")
 )
 
 // NewAggregatorNode launches the aggregation service inside the given CVM:
 // it reads the launch secret (the AP-provisioned ECDSA token) from the
 // CVM's encrypted memory. The CVM must already be provisioned and running.
+// The node keeps all round state in memory; use RecoverAggregatorNode to
+// attach a durable journal and survive restarts.
 func NewAggregatorNode(id string, algorithm agg.Algorithm, cvm *sev.CVM) (*AggregatorNode, error) {
 	secret, err := cvm.GuestReadSecret()
 	if err != nil {
@@ -76,11 +101,21 @@ func (a *AggregatorNode) SignChallenge(nonce []byte) ([]byte, error) {
 	return a.token.SignChallenge(nonce)
 }
 
-// Register admits a party to the training.
+// Register admits a party to the training. Registering an already-admitted
+// party is a no-op, so parties may safely re-register after reconnecting
+// to a restarted aggregator.
 func (a *AggregatorNode) Register(partyID string) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.parties[partyID] {
+		return
+	}
+	// Best-effort journaling: a lost register record is self-healing
+	// (uploads imply registration on replay, and parties re-register on
+	// reconnect), so registration does not fail on journal errors.
+	a.logEvent(recRegister, walEvent{Party: partyID})
 	a.parties[partyID] = true
+	a.maybeCompactLocked()
 }
 
 // NumParties returns the registered-party count.
@@ -90,8 +125,29 @@ func (a *AggregatorNode) NumParties() int {
 	return len(a.parties)
 }
 
+// RoundsHeld returns how many rounds the node currently holds in memory
+// (bounded by SetRetention over long runs).
+func (a *AggregatorNode) RoundsHeld() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.rounds)
+}
+
+// LastAggregatedRound returns the highest round this node has fused (0 if
+// none); it survives crash recovery, so a restarted initiator can resume
+// round synchronization past already-completed rounds.
+func (a *AggregatorNode) LastAggregatedRound() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastAggregated
+}
+
 // Upload receives one party's transformed fragment for a round, weighted by
-// the party's local dataset size.
+// the party's local dataset size. Uploads are idempotent: re-sending the
+// identical (fragment, weight) for the same (party, round) succeeds
+// silently, so a party that hit an ambiguous network failure can safely
+// retry; only a *conflicting* re-upload returns ErrDuplicateUpload. The
+// fragment is journaled (fsynced) before the upload is acknowledged.
 func (a *AggregatorNode) Upload(round int, partyID string, frag tensor.Vector, weight float64) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -100,17 +156,24 @@ func (a *AggregatorNode) Upload(round int, partyID string, frag tensor.Vector, w
 	}
 	rs, ok := a.rounds[round]
 	if !ok {
-		rs = &roundState{
-			fragments: make(map[string]tensor.Vector),
-			weights:   make(map[string]float64),
-		}
+		rs = newRoundState()
 		a.rounds[round] = rs
 	}
-	if _, dup := rs.fragments[partyID]; dup {
+	if prev, dup := rs.fragments[partyID]; dup {
+		if fragEqual(prev, frag) && rs.weights[partyID] == weight {
+			return nil // identical retry: already committed
+		}
 		return fmt.Errorf("%w %d from %q", ErrDuplicateUpload, round, partyID)
+	}
+	if err := a.logEventDurable(recUpload, walEvent{Party: partyID, Round: round, Frag: frag, Weight: weight}); err != nil {
+		if !ok {
+			delete(a.rounds, round) // don't leave a phantom empty round
+		}
+		return fmt.Errorf("core: aggregator %s journaling upload: %w", a.ID, err)
 	}
 	rs.fragments[partyID] = frag.Clone()
 	rs.weights[partyID] = weight
+	a.maybeCompactLocked()
 	return nil
 }
 
@@ -119,7 +182,34 @@ func (a *AggregatorNode) Upload(round int, partyID string, frag tensor.Vector, w
 func (a *AggregatorNode) SetQuorum(n int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.quorum == n {
+		return
+	}
+	a.logEvent(recQuorum, walEvent{N: n})
 	a.quorum = n
+}
+
+// SetRetention bounds memory over long runs: once set to n > 0, rounds
+// older than (latest aggregated round - n) are evicted after each fusion.
+// The journal (when attached) remains the durable copy of evicted rounds;
+// n <= 0 disables eviction.
+func (a *AggregatorNode) SetRetention(n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.retention == n {
+		return
+	}
+	a.logEvent(recRetention, walEvent{N: n})
+	a.retention = n
+	a.evictLocked(a.lastAggregated)
+}
+
+// SetCompactEvery tunes how many journal records accumulate before a
+// snapshot+truncate compaction (default 1024; no-op without a journal).
+func (a *AggregatorNode) SetCompactEvery(n int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.compactEvery = n
 }
 
 // required returns the upload count a round needs before aggregation.
@@ -142,10 +232,17 @@ func (a *AggregatorNode) Complete(round int) bool {
 
 // Aggregate fuses the round's fragments with the node's algorithm. Called
 // by the initiator's sync protocol once all parties have uploaded.
+// Aggregating an already-fused round is a no-op, so an initiator that
+// restarted mid-sync can safely re-drive it. The fused vector is journaled
+// before Aggregate returns, so parties can still download it from a
+// recovered aggregator.
 func (a *AggregatorNode) Aggregate(round int) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	rs, ok := a.rounds[round]
+	if ok && rs.aggregated != nil {
+		return nil // idempotent re-sync after an initiator or node restart
+	}
 	if !ok || len(rs.fragments) < a.required() {
 		return fmt.Errorf("%w: round %d has %d/%d uploads", ErrRoundIncomplete, round, uploadCount(rs), a.required())
 	}
@@ -165,7 +262,14 @@ func (a *AggregatorNode) Aggregate(round int) error {
 	if err != nil {
 		return fmt.Errorf("core: aggregator %s round %d: %w", a.ID, round, err)
 	}
-	rs.aggregated = fused
+	// Journal the *result*, not just the trigger: stateful algorithms
+	// (e.g. Paillier fusion) cannot be re-run deterministically on
+	// replay, and parties must be able to re-download after a crash.
+	if err := a.logEventDurable(recAggregate, walEvent{Round: round, Frag: fused}); err != nil {
+		return fmt.Errorf("core: aggregator %s journaling round %d: %w", a.ID, round, err)
+	}
+	a.applyAggregated(round, fused)
+	a.maybeCompactLocked()
 	return nil
 }
 
@@ -187,6 +291,9 @@ func (a *AggregatorNode) Download(round int, partyID string) (tensor.Vector, err
 	if !ok || rs.aggregated == nil {
 		return nil, fmt.Errorf("%w: round %d", ErrNotAggregated, round)
 	}
+	// Advisory fetch-served record (no fsync: its loss is harmless); it
+	// lets operators audit which rounds were actually delivered.
+	a.logEventAdvisory(recFetch, walEvent{Party: partyID, Round: round})
 	return rs.aggregated.Clone(), nil
 }
 
@@ -194,7 +301,27 @@ func (a *AggregatorNode) Download(round int, partyID string) (tensor.Vector, err
 func (a *AggregatorNode) DropRound(round int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if _, ok := a.rounds[round]; !ok {
+		return
+	}
+	a.logEvent(recDrop, walEvent{Round: round})
 	delete(a.rounds, round)
+	a.maybeCompactLocked()
+}
+
+// evictLocked applies the retention policy after round `latest` fused.
+// Pure function of (rounds, retention, latest), so journal replay — which
+// re-runs it from the recAggregate records — reproduces the same bounded
+// map without eviction records of its own. Callers must hold a.mu.
+func (a *AggregatorNode) evictLocked(latest int) {
+	if a.retention <= 0 {
+		return
+	}
+	for r := range a.rounds {
+		if r <= latest-a.retention {
+			delete(a.rounds, r)
+		}
+	}
 }
 
 // LeakRoundFragments models an aggregator breach for the security analysis
@@ -213,4 +340,25 @@ func (a *AggregatorNode) LeakRoundFragments(round int) map[string]tensor.Vector 
 		out[id] = f.Clone()
 	}
 	return out
+}
+
+func newRoundState() *roundState {
+	return &roundState{
+		fragments: make(map[string]tensor.Vector),
+		weights:   make(map[string]float64),
+	}
+}
+
+// fragEqual reports exact (bitwise, per-coordinate) equality — the test
+// for an idempotent re-upload.
+func fragEqual(a, b tensor.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"deta/internal/agg"
+	"deta/internal/attest"
+	"deta/internal/dataset"
+	"deta/internal/fl"
+	"deta/internal/journal"
+	"deta/internal/nn"
+	"deta/internal/sev"
+	"deta/internal/tensor"
+	"deta/internal/transport"
+)
+
+// Chaos harness parameters. The seed keys every fault plan, so a failing
+// run replays the same fault schedule.
+const (
+	chaosParties       = 2
+	chaosAggs          = 3
+	chaosRounds        = 3
+	chaosSeed    int64 = 0xDE7A
+)
+
+// chaosAgg is one journaled aggregator "process" that can be killed and
+// restarted mid-test: restart drops the in-memory node, closes its server,
+// and recovers a fresh node (fresh CVM, re-attested under the same ID)
+// from the same journal directory — exactly what a crashed deployment does.
+type chaosAgg struct {
+	id     string
+	dir    string
+	proxy  *attest.Proxy
+	vendor *sev.Vendor
+
+	mu   sync.Mutex
+	gen  int
+	node *AggregatorNode
+	srv  *transport.Server
+	ln   *transport.MemListener
+}
+
+func (c *chaosAgg) start() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	platform, err := sev.NewPlatform(fmt.Sprintf("host/%s/gen%d", c.id, c.gen), c.vendor)
+	if err != nil {
+		return err
+	}
+	cvm, err := platform.LaunchCVM(OVMF)
+	if err != nil {
+		return err
+	}
+	if _, err := c.proxy.Provision(c.id, platform, cvm); err != nil {
+		return err
+	}
+	node, _, err := RecoverAggregatorNode(c.id, agg.IterativeAverage{}, cvm, c.dir, journal.Options{})
+	if err != nil {
+		return err
+	}
+	srv := transport.NewServer()
+	ServeAggregator(node, srv)
+	ln := transport.NewMemListener()
+	go srv.Serve(ln)
+	c.node, c.srv, c.ln = node, srv, ln
+	return nil
+}
+
+// restart kills the running aggregator (server and journal handle closed,
+// node discarded) and boots a replacement from the journal.
+func (c *chaosAgg) restart() error {
+	c.mu.Lock()
+	c.srv.Close()
+	c.node.CloseJournal()
+	c.mu.Unlock()
+	return c.start()
+}
+
+func (c *chaosAgg) getNode() *AggregatorNode {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.node
+}
+
+func (c *chaosAgg) dialCurrent() (net.Conn, error) {
+	c.mu.Lock()
+	ln := c.ln
+	c.mu.Unlock()
+	return ln.Dial()
+}
+
+func (c *chaosAgg) stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.srv.Close()
+	c.node.CloseJournal()
+}
+
+// runChaosFederation runs a full 2-party/3-aggregator/3-round federation
+// over in-memory transports and returns the final global model. With
+// faulty=true, every party↔aggregator connection injects drops, delays,
+// and severs from a deterministic seed, and two aggregators are killed and
+// restarted mid-round; the journal plus idempotent retries must make the
+// result indistinguishable from the clean run.
+func runChaosFederation(t *testing.T, faulty bool) tensor.Vector {
+	t.Helper()
+
+	vendor, err := sev.NewVendor()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := attest.NewProxy(vendor.RAS(), OVMF)
+
+	procs := make([]*chaosAgg, chaosAggs)
+	for j := range procs {
+		procs[j] = &chaosAgg{
+			id: fmt.Sprintf("agg-%d", j+1), dir: t.TempDir(),
+			proxy: proxy, vendor: vendor,
+		}
+		if err := procs[j].start(); err != nil {
+			t.Fatal(err)
+		}
+		defer procs[j].stop()
+	}
+
+	// Pre-register every party on every node so the first round's quorum
+	// is all parties regardless of upload interleaving (mirrors the e2e
+	// test's guard).
+	for _, c := range procs {
+		for p := 0; p < chaosParties; p++ {
+			c.getNode().Register(fmt.Sprintf("P%d", p+1))
+		}
+	}
+
+	// Initiator sync loop over the *current* nodes: a restarted aggregator
+	// is picked up on the next poll, and Aggregate is idempotent, so a
+	// round interrupted by a restart is simply re-driven.
+	stopSync := make(chan struct{})
+	defer close(stopSync)
+	go func() {
+		round := 1
+		for round <= chaosRounds {
+			select {
+			case <-stopSync:
+				return
+			default:
+			}
+			nodes := make([]*AggregatorNode, chaosAggs)
+			all := true
+			for j, c := range procs {
+				nodes[j] = c.getNode()
+				if !nodes[j].Complete(round) {
+					all = false
+					break
+				}
+			}
+			if all {
+				fusedAll := true
+				for _, n := range nodes {
+					if err := n.Aggregate(round); err != nil {
+						fusedAll = false // e.g. node replaced mid-pass; retry
+						break
+					}
+				}
+				if fusedAll {
+					round++
+					continue
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	broker, err := attest.NewKeyBroker(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < chaosParties; p++ {
+		broker.RegisterParty(fmt.Sprintf("P%d", p+1))
+	}
+
+	spec := dataset.Spec{Name: "chaos", C: 1, H: 12, W: 12, Classes: 4}
+	train, _ := dataset.TrainTest(spec, chaosParties*16, 8, []byte("chaos-data"))
+	shards := dataset.SplitIID(train, chaosParties, []byte("chaos-split"))
+	build := func() *nn.Network { return nn.ConvNet8(1, 12, 12, 4) }
+	cfg := fl.Config{
+		Mode: fl.FedAvg, Rounds: chaosRounds, LocalEpochs: 1, BatchSize: 8,
+		LR: 0.05, Momentum: 0.9, Seed: []byte("chaos-cfg"),
+	}
+
+	// retry re-drives a whole fan-out step until it succeeds or the party
+	// deadline expires — safe because uploads are idempotent and Aggregate/
+	// Download are read-or-no-op on re-delivery.
+	retry := func(ctx context.Context, what string, op func(context.Context) error) error {
+		b := transport.Backoff{Initial: 2 * time.Millisecond, Max: 100 * time.Millisecond}
+		var last error
+		for i := 0; ; i++ {
+			if last = op(ctx); last == nil {
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("%s: %w (last error: %v)", what, ctx.Err(), last)
+			case <-time.After(b.Delay(i)):
+			}
+		}
+	}
+
+	runParty := func(idx int) (tensor.Vector, error) {
+		id := fmt.Sprintf("P%d", idx+1)
+		clients := make([]*AggregatorClient, chaosAggs)
+		for j, c := range procs {
+			dial := c.dialCurrent
+			if faulty {
+				// Deterministic per-(party, aggregator) fault plan; each
+				// redial draws the next per-connection schedule from it.
+				dial = transport.FaultDialer(c.dialCurrent, transport.Faults{
+					Seed:      chaosSeed + int64(idx*16+j),
+					DelayProb: 0.2, Delay: time.Millisecond,
+					DropProb: 0.02, SeverProb: 0.02,
+				})
+			}
+			clients[j] = &AggregatorClient{
+				ID:     c.id,
+				Redial: func(context.Context) (net.Conn, error) { return dial() },
+			}
+		}
+		// A short per-call timeout classifies dropped writes (request sent,
+		// connection silently dead) as failures quickly so retries re-drive
+		// them.
+		fleet := &Fleet{Clients: clients, Timeout: 2 * time.Second}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+
+		if err := retry(ctx, "phase II", func(ctx context.Context) error {
+			return fleet.VerifyAndRegisterAll(ctx, id, proxy.TokenPubKey, attest.NewNonce, attest.VerifyChallenge)
+		}); err != nil {
+			return nil, err
+		}
+		permKey, err := broker.PermutationKey(id)
+		if err != nil {
+			return nil, err
+		}
+		shuffler, err := NewShuffler(permKey)
+		if err != nil {
+			return nil, err
+		}
+		party := fl.NewParty(id, build, shards[idx], cfg)
+		mapper, err := NewMapper(build().NumParams(), EqualProportions(chaosAggs), []byte("chaos-mapper"))
+		if err != nil {
+			return nil, err
+		}
+		net := build()
+		net.Init([]byte("chaos-init"))
+		global := net.Params()
+
+		for round := 1; round <= chaosRounds; round++ {
+			roundID, err := broker.RoundID(round)
+			if err != nil {
+				return nil, err
+			}
+			update, _, err := party.LocalUpdate(global, round)
+			if err != nil {
+				return nil, err
+			}
+			frags, err := Transform(mapper, shuffler, update, roundID, true)
+			if err != nil {
+				return nil, err
+			}
+			if err := retry(ctx, fmt.Sprintf("round %d upload", round), func(ctx context.Context) error {
+				return fleet.UploadAll(ctx, round, id, frags, float64(shards[idx].Len()))
+			}); err != nil {
+				return nil, err
+			}
+			if faulty && idx == 0 && round == 2 {
+				// Kill+restart aggregator 1 mid-round: this party's round-2
+				// fragments are journaled but not yet fused (the other
+				// party may still be uploading). The recovered node must
+				// resume the round from its WAL.
+				if err := procs[0].restart(); err != nil {
+					return nil, fmt.Errorf("restarting agg-1: %w", err)
+				}
+			}
+			var merged []tensor.Vector
+			if err := retry(ctx, fmt.Sprintf("round %d download", round), func(ctx context.Context) error {
+				dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+				defer cancel()
+				var derr error
+				merged, derr = fleet.DownloadAll(dctx, round, id, nil)
+				return derr
+			}); err != nil {
+				return nil, err
+			}
+			if faulty && idx == 0 && round == 2 {
+				// Kill+restart aggregator 2 after fusion: the other party
+				// has yet to download round 2 from it, so the recovered
+				// node must serve the journaled aggregated vector
+				// bit-identically.
+				if err := procs[1].restart(); err != nil {
+					return nil, fmt.Errorf("restarting agg-2: %w", err)
+				}
+			}
+			global, err = InverseTransform(mapper, shuffler, merged, roundID, true)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return global, nil
+	}
+
+	var wg sync.WaitGroup
+	finals := make([]tensor.Vector, chaosParties)
+	errs := make([]error, chaosParties)
+	for p := 0; p < chaosParties; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			finals[p], errs[p] = runParty(p)
+		}(p)
+	}
+	wg.Wait()
+	for p, err := range errs {
+		if err != nil {
+			t.Fatalf("party %d (faulty=%v): %v", p+1, faulty, err)
+		}
+	}
+	for i := range finals[0] {
+		if finals[0][i] != finals[1][i] {
+			t.Fatalf("parties disagree on the global model at coordinate %d (faulty=%v)", i, faulty)
+		}
+	}
+	return finals[0]
+}
+
+// TestChaosRestartBitIdenticalModel is the acceptance test for the crash-
+// recovery work: a federation suffering injected connection drops, delays,
+// and severs plus two aggregator kill+restarts mid-round must complete all
+// rounds and produce a global model bit-identical to a fault-free run.
+func TestChaosRestartBitIdenticalModel(t *testing.T) {
+	clean := runChaosFederation(t, false)
+	chaotic := runChaosFederation(t, true)
+	if len(clean) != len(chaotic) {
+		t.Fatalf("model sizes differ: %d vs %d", len(clean), len(chaotic))
+	}
+	for i := range clean {
+		if clean[i] != chaotic[i] {
+			t.Fatalf("chaos run diverged from fault-free run at coordinate %d: %v vs %v",
+				i, chaotic[i], clean[i])
+		}
+	}
+}

@@ -63,9 +63,12 @@ type Fleet struct {
 	// down for this fan-out without waiting out the whole round deadline.
 	Timeout time.Duration
 
-	// PollInterval spaces DownloadAll's not-yet-aggregated retries
-	// (default 5ms).
-	PollInterval time.Duration
+	// Poll schedules DownloadAll's not-yet-aggregated retries: jittered
+	// capped-exponential backoff instead of a fixed busy-poll, so a slow
+	// round costs a handful of RPCs, not thousands, while an about-to-
+	// finish one is picked up within milliseconds. Zero-value fields
+	// default to 2ms initial delay, 250ms cap, factor 2, ±20% jitter.
+	Poll transport.Backoff
 }
 
 // NewFleet bundles clients with the deployment's Options: AggQuorum and
@@ -91,11 +94,15 @@ func (f *Fleet) callCtx(ctx context.Context) (context.Context, context.CancelFun
 	return context.WithCancel(ctx)
 }
 
-func (f *Fleet) pollInterval() time.Duration {
-	if f.PollInterval > 0 {
-		return f.PollInterval
+func (f *Fleet) pollBackoff() transport.Backoff {
+	b := f.Poll
+	if b.Initial <= 0 {
+		b.Initial = 2 * time.Millisecond
 	}
-	return 5 * time.Millisecond
+	if b.Max <= 0 {
+		b.Max = 250 * time.Millisecond
+	}
+	return b
 }
 
 // fanOut runs op for every aggregator concurrently and applies quorum
@@ -210,8 +217,9 @@ func (f *Fleet) DownloadAll(ctx context.Context, round int, partyID string, fall
 		return nil, fmt.Errorf("core: %d fallback fragments for %d aggregators", len(fallback), len(f.Clients))
 	}
 	frags := make([]tensor.Vector, len(f.Clients))
+	backoff := f.pollBackoff()
 	ok, _, err := f.fanOut(func(j int, a *AggregatorClient) error {
-		for {
+		for attempt := 0; ; attempt++ {
 			cctx, cancel := f.callCtx(ctx)
 			frag, err := a.Download(cctx, round, partyID)
 			cancel()
@@ -224,10 +232,12 @@ func (f *Fleet) DownloadAll(ctx context.Context, round int, partyID string, fall
 				// rejection: this aggregator is down for the round.
 				return err
 			}
+			// Not aggregated yet: back off (jittered, capped) and poll
+			// again, aborting promptly if the caller cancels.
 			select {
 			case <-ctx.Done():
 				return fmt.Errorf("waiting for round %d fragment: %w", round, ctx.Err())
-			case <-time.After(f.pollInterval()):
+			case <-time.After(backoff.Delay(attempt)):
 			}
 		}
 	})

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
+	"sync"
 
 	"deta/internal/tensor"
 	"deta/internal/transport"
@@ -106,17 +108,71 @@ func ServeAggregator(node *AggregatorNode, srv *transport.Server) {
 // methods take a context whose deadline bounds the RPC; the underlying
 // transport.Client multiplexes concurrent calls, so one AggregatorClient
 // is safe to share across the fan-out goroutines of a Fleet.
+//
+// With Redial set, a connection-level failure (crashed/restarted
+// aggregator, severed link) is repaired transparently: the next call
+// re-dials and proceeds on a fresh connection. Application-level retries
+// stay with the caller — combined with idempotent uploads they make a
+// party's round loop safe to re-drive after any ambiguous failure.
 type AggregatorClient struct {
 	ID string
 	C  *transport.Client
+
+	// Redial, when non-nil, re-establishes the connection after the
+	// current one fails (or when C starts nil). It is called with the
+	// in-flight call's context.
+	Redial func(ctx context.Context) (net.Conn, error)
+
+	mu sync.Mutex // guards C swaps during redial
 }
 
-// Stats exposes this aggregator link's transport counters.
-func (a *AggregatorClient) Stats() transport.StatsSnapshot { return a.C.Stats().Snapshot() }
+// client returns a healthy transport client, re-dialing if the previous
+// connection died and a Redial function is configured.
+func (a *AggregatorClient) client(ctx context.Context) (*transport.Client, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.C != nil && a.C.Err() == nil {
+		return a.C, nil
+	}
+	if a.Redial == nil {
+		if a.C == nil {
+			return nil, fmt.Errorf("core: aggregator %s: no connection", a.ID)
+		}
+		return a.C, nil // sticky error surfaces in the call
+	}
+	conn, err := a.Redial(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: redialing %s: %w", a.ID, err)
+	}
+	if a.C != nil {
+		a.C.Close()
+	}
+	a.C = transport.NewClient(conn)
+	return a.C, nil
+}
+
+func callAgg[Req, Resp any](ctx context.Context, a *AggregatorClient, method string, req Req) (Resp, error) {
+	c, err := a.client(ctx)
+	if err != nil {
+		var zero Resp
+		return zero, err
+	}
+	return transport.CallTypedContext[Req, Resp](ctx, c, method, req)
+}
+
+// Stats exposes the current connection's transport counters.
+func (a *AggregatorClient) Stats() transport.StatsSnapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.C == nil {
+		return transport.StatsSnapshot{}
+	}
+	return a.C.Stats().Snapshot()
+}
 
 // Challenge runs the Phase II nonce exchange.
 func (a *AggregatorClient) Challenge(ctx context.Context, nonce []byte) ([]byte, error) {
-	resp, err := transport.CallTypedContext[ChallengeReq, ChallengeResp](ctx, a.C, MethodChallenge, ChallengeReq{Nonce: nonce})
+	resp, err := callAgg[ChallengeReq, ChallengeResp](ctx, a, MethodChallenge, ChallengeReq{Nonce: nonce})
 	if err != nil {
 		return nil, fmt.Errorf("core: challenge %s: %w", a.ID, err)
 	}
@@ -125,16 +181,17 @@ func (a *AggregatorClient) Challenge(ctx context.Context, nonce []byte) ([]byte,
 
 // Register admits the party at this aggregator.
 func (a *AggregatorClient) Register(ctx context.Context, partyID string) error {
-	_, err := transport.CallTypedContext[RegisterReq, RegisterResp](ctx, a.C, MethodRegister, RegisterReq{PartyID: partyID})
+	_, err := callAgg[RegisterReq, RegisterResp](ctx, a, MethodRegister, RegisterReq{PartyID: partyID})
 	if err != nil {
 		return fmt.Errorf("core: register at %s: %w", a.ID, err)
 	}
 	return nil
 }
 
-// Upload sends a transformed fragment.
+// Upload sends a transformed fragment. The server side is idempotent for
+// identical retries, so re-sending after an ambiguous failure is safe.
 func (a *AggregatorClient) Upload(ctx context.Context, round int, partyID string, frag tensor.Vector, weight float64) error {
-	_, err := transport.CallTypedContext[UploadReq, UploadResp](ctx, a.C, MethodUpload, UploadReq{
+	_, err := callAgg[UploadReq, UploadResp](ctx, a, MethodUpload, UploadReq{
 		Round: round, PartyID: partyID, Fragment: frag, Weight: weight,
 	})
 	if err != nil {
@@ -145,16 +202,17 @@ func (a *AggregatorClient) Upload(ctx context.Context, round int, partyID string
 
 // Complete polls whether all parties uploaded for round.
 func (a *AggregatorClient) Complete(ctx context.Context, round int) (bool, error) {
-	resp, err := transport.CallTypedContext[CompleteReq, CompleteResp](ctx, a.C, MethodComplete, CompleteReq{Round: round})
+	resp, err := callAgg[CompleteReq, CompleteResp](ctx, a, MethodComplete, CompleteReq{Round: round})
 	if err != nil {
 		return false, err
 	}
 	return resp.Complete, nil
 }
 
-// Aggregate instructs the aggregator to fuse a round.
+// Aggregate instructs the aggregator to fuse a round (idempotent on the
+// server, so re-driving sync after a restart is safe).
 func (a *AggregatorClient) Aggregate(ctx context.Context, round int) error {
-	_, err := transport.CallTypedContext[AggregateReq, AggregateResp](ctx, a.C, MethodAggregate, AggregateReq{Round: round})
+	_, err := callAgg[AggregateReq, AggregateResp](ctx, a, MethodAggregate, AggregateReq{Round: round})
 	if err != nil {
 		return fmt.Errorf("core: aggregate at %s: %w", a.ID, err)
 	}
@@ -163,7 +221,7 @@ func (a *AggregatorClient) Aggregate(ctx context.Context, round int) error {
 
 // Download fetches the aggregated fragment.
 func (a *AggregatorClient) Download(ctx context.Context, round int, partyID string) (tensor.Vector, error) {
-	resp, err := transport.CallTypedContext[DownloadReq, DownloadResp](ctx, a.C, MethodDownload, DownloadReq{
+	resp, err := callAgg[DownloadReq, DownloadResp](ctx, a, MethodDownload, DownloadReq{
 		Round: round, PartyID: partyID,
 	})
 	if err != nil {

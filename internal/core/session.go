@@ -9,6 +9,7 @@ import (
 	"deta/internal/attest"
 	"deta/internal/dataset"
 	"deta/internal/fl"
+	"deta/internal/journal"
 	"deta/internal/nn"
 	"deta/internal/sev"
 	"deta/internal/tensor"
@@ -47,6 +48,20 @@ type Options struct {
 	// CallTimeout bounds each party→aggregator RPC in networked
 	// deployments (0 = no per-call deadline). Consumed by Fleet.
 	CallTimeout time.Duration
+	// StateDir, when non-empty, gives every aggregator a durable round
+	// journal under StateDir/<agg-id>: each accepted mutation is
+	// committed to the write-ahead log before it is acknowledged, and
+	// Setup recovers any existing journal so a restarted deployment
+	// resumes its rounds instead of losing them.
+	StateDir string
+	// JournalNoSync skips the per-record fsync (process-crash durability
+	// only; for tests and benchmarks).
+	JournalNoSync bool
+	// RetainRounds, when positive, evicts aggregated rounds older than N
+	// from each aggregator's memory (the journal stays the durable
+	// copy), and Run skips its explicit per-round DropRound in favor of
+	// that policy.
+	RetainRounds int
 }
 
 func (o *Options) defaults() {
@@ -143,9 +158,18 @@ func (s *Session) Setup() error {
 		if _, err := s.Proxy.Provision(id, platform, cvm); err != nil {
 			return fmt.Errorf("core: provisioning %s: %w", id, err)
 		}
-		node, err := NewAggregatorNode(id, s.NewAlgorithm(), cvm)
+		var node *AggregatorNode
+		if s.Opts.StateDir != "" {
+			node, _, err = RecoverAggregatorNode(id, s.NewAlgorithm(), cvm,
+				StateDirFor(s.Opts.StateDir, id), journal.Options{NoSync: s.Opts.JournalNoSync})
+		} else {
+			node, err = NewAggregatorNode(id, s.NewAlgorithm(), cvm)
+		}
 		if err != nil {
 			return err
+		}
+		if s.Opts.RetainRounds > 0 {
+			node.SetRetention(s.Opts.RetainRounds)
 		}
 		s.Nodes[j] = node
 	}
@@ -289,8 +313,11 @@ func (s *Session) Run() (*fl.History, error) {
 			return nil, err
 		}
 		global = s.applyUpdate(global, fused)
-		for _, node := range s.Nodes {
-			node.DropRound(round)
+		if s.Opts.RetainRounds <= 0 {
+			// No retention policy: free each round eagerly as before.
+			for _, node := range s.Nodes {
+				node.DropRound(round)
+			}
 		}
 		cum += time.Since(start)
 

@@ -1,0 +1,35 @@
+package journal
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchAppend(b *testing.B, noSync bool, size int) {
+	j, _, err := Open(b.TempDir(), Options{NoSync: noSync})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := j.Append(1, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppend measures the committed-record cost with and without the
+// per-record fsync — the durability price an upload pays before it is
+// acknowledged.
+func BenchmarkAppend(b *testing.B) {
+	for _, size := range []int{256, 32 << 10} {
+		b.Run(fmt.Sprintf("sync/%dB", size), func(b *testing.B) { benchAppend(b, false, size) })
+		b.Run(fmt.Sprintf("nosync/%dB", size), func(b *testing.B) { benchAppend(b, true, size) })
+	}
+}

@@ -40,6 +40,11 @@ func (b Backoff) attempts() int {
 	return b.Attempts // negative: unlimited
 }
 
+// Delay returns the jittered sleep before attempt i+1 (i counts failures
+// so far, starting at 0) — exported for callers running their own retry
+// loops over the schedule (e.g. Fleet.DownloadAll's poll).
+func (b Backoff) Delay(i int) time.Duration { return b.delay(i) }
+
 // delay returns the jittered sleep before attempt i+1 (i counts failures
 // so far, starting at 0).
 func (b Backoff) delay(i int) time.Duration {

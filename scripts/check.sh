@@ -1,0 +1,21 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate: vet, build, the whole test
+# suite under the race detector, and the chaos end-to-end test (injected
+# faults + aggregator kill/restart, fixed seed 0xDE7A in chaos_test.go)
+# run explicitly so its pass/fail is visible on its own line.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== chaos e2e (fault injection + aggregator kill/restart, -race)"
+go test -race -count=1 -run 'TestChaosRestartBitIdenticalModel' -v ./internal/core
+
+echo "== all checks passed"
