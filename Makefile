@@ -1,10 +1,15 @@
 # Standard entry points; scripts/check.sh is the single source of truth
 # for the full verification gate.
 
-.PHONY: build test race chaos bench check
+.PHONY: build test race chaos bench lint check
 
 build:
 	go build ./...
+
+# Project-specific static analysis (internal/lint): security & determinism
+# invariants the type system can't see. Exits nonzero on any finding.
+lint:
+	go run ./cmd/deta-lint ./...
 
 test:
 	go test ./...

@@ -69,7 +69,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("generating VCEK: %v", err)
 	}
-	chain, err := ap.Endorse("host/"+*id, vcekPub)
+	chain, err := ap.Endorse(dialCtx, "host/"+*id, vcekPub)
 	if err != nil {
 		log.Fatalf("endorsement: %v", err)
 	}
@@ -84,7 +84,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("launching CVM: %v", err)
 	}
-	if err := ap.AttestCVM(*id, platform, cvm); err != nil {
+	if err := ap.AttestCVM(dialCtx, *id, platform, cvm); err != nil {
 		log.Fatalf("attestation failed (refusing to serve): %v", err)
 	}
 	log.Printf("CVM attested and provisioned; state=%s", cvm.State())

@@ -93,16 +93,17 @@ func main() {
 	// Phase II: verify every aggregator's token in parallel before
 	// registering. A failed *verification* aborts even under quorum.
 	ctx := context.Background()
-	if err := fleet.VerifyAndRegisterAll(ctx, *id, ap.TokenPubKey, attest.NewNonce, attest.VerifyChallenge); err != nil {
+	tokenPubKey := func(aggID string) ([]byte, error) { return ap.TokenPubKey(ctx, aggID) }
+	if err := fleet.VerifyAndRegisterAll(ctx, *id, tokenPubKey, attest.NewNonce, attest.VerifyChallenge); err != nil {
 		log.Fatalf("refusing to train: %v", err)
 	}
 	log.Printf("verified and registered with %d aggregators", fleet.K())
 
 	// Key broker: register and fetch the shared permutation key.
-	if err := ap.RegisterParty(*id); err != nil {
+	if err := ap.RegisterParty(ctx, *id); err != nil {
 		log.Fatalf("broker registration: %v", err)
 	}
-	permKey, err := ap.PermKey(*id)
+	permKey, err := ap.PermKey(ctx, *id)
 	if err != nil {
 		log.Fatalf("fetching permutation key: %v", err)
 	}
@@ -137,7 +138,7 @@ func main() {
 	global := net.Params()
 
 	for round := 1; round <= *rounds; round++ {
-		roundID, err := ap.RoundID(round)
+		roundID, err := ap.RoundID(ctx, round)
 		if err != nil {
 			log.Fatalf("round %d: fetching round ID: %v", round, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -188,8 +189,8 @@ func (s *APService) Serve(srv *transport.Server) {
 type APClient struct{ C *transport.Client }
 
 // Endorse asks the vendor role to endorse a platform key.
-func (a *APClient) Endorse(platformName string, vcekPub []byte) (sev.CertChain, error) {
-	resp, err := transport.CallTyped[EndorseReq, EndorseResp](a.C, MethodAPEndorse,
+func (a *APClient) Endorse(ctx context.Context, platformName string, vcekPub []byte) (sev.CertChain, error) {
+	resp, err := transport.CallTypedContext[EndorseReq, EndorseResp](ctx, a.C, MethodAPEndorse,
 		EndorseReq{PlatformName: platformName, VCEKPub: vcekPub})
 	if err != nil {
 		return sev.CertChain{}, err
@@ -200,8 +201,8 @@ func (a *APClient) Endorse(platformName string, vcekPub []byte) (sev.CertChain, 
 // AttestCVM runs the aggregator-side Phase I against the remote AP: fetch a
 // nonce, produce the report, submit it, and inject the returned launch blob
 // into the paused CVM before resuming.
-func (a *APClient) AttestCVM(aggregatorID string, platform *sev.Platform, cvm *sev.CVM) error {
-	nresp, err := transport.CallTyped[NonceReq, NonceResp](a.C, MethodAPNonce, NonceReq{AggregatorID: aggregatorID})
+func (a *APClient) AttestCVM(ctx context.Context, aggregatorID string, platform *sev.Platform, cvm *sev.CVM) error {
+	nresp, err := transport.CallTypedContext[NonceReq, NonceResp](ctx, a.C, MethodAPNonce, NonceReq{AggregatorID: aggregatorID})
 	if err != nil {
 		return err
 	}
@@ -209,7 +210,7 @@ func (a *APClient) AttestCVM(aggregatorID string, platform *sev.Platform, cvm *s
 	if err != nil {
 		return err
 	}
-	aresp, err := transport.CallTyped[AttestReq, AttestResp](a.C, MethodAPAttest,
+	aresp, err := transport.CallTypedContext[AttestReq, AttestResp](ctx, a.C, MethodAPAttest,
 		AttestReq{AggregatorID: aggregatorID, Report: report})
 	if err != nil {
 		return err
@@ -221,8 +222,8 @@ func (a *APClient) AttestCVM(aggregatorID string, platform *sev.Platform, cvm *s
 }
 
 // TokenPubKey fetches the provisioned token key for an aggregator.
-func (a *APClient) TokenPubKey(aggregatorID string) ([]byte, error) {
-	resp, err := transport.CallTyped[TokenPubKeyReq, TokenPubKeyResp](a.C, MethodAPTokenPubKey,
+func (a *APClient) TokenPubKey(ctx context.Context, aggregatorID string) ([]byte, error) {
+	resp, err := transport.CallTypedContext[TokenPubKeyReq, TokenPubKeyResp](ctx, a.C, MethodAPTokenPubKey,
 		TokenPubKeyReq{AggregatorID: aggregatorID})
 	if err != nil {
 		return nil, err
@@ -231,15 +232,15 @@ func (a *APClient) TokenPubKey(aggregatorID string) ([]byte, error) {
 }
 
 // RegisterParty registers with the key broker.
-func (a *APClient) RegisterParty(partyID string) error {
-	_, err := transport.CallTyped[RegisterPartyReq, RegisterPartyResp](a.C, MethodAPRegister,
+func (a *APClient) RegisterParty(ctx context.Context, partyID string) error {
+	_, err := transport.CallTypedContext[RegisterPartyReq, RegisterPartyResp](ctx, a.C, MethodAPRegister,
 		RegisterPartyReq{PartyID: partyID})
 	return err
 }
 
 // PermKey fetches the shared permutation key.
-func (a *APClient) PermKey(partyID string) ([]byte, error) {
-	resp, err := transport.CallTyped[PermKeyReq, PermKeyResp](a.C, MethodAPPermKey, PermKeyReq{PartyID: partyID})
+func (a *APClient) PermKey(ctx context.Context, partyID string) ([]byte, error) {
+	resp, err := transport.CallTypedContext[PermKeyReq, PermKeyResp](ctx, a.C, MethodAPPermKey, PermKeyReq{PartyID: partyID})
 	if err != nil {
 		return nil, err
 	}
@@ -247,8 +248,8 @@ func (a *APClient) PermKey(partyID string) ([]byte, error) {
 }
 
 // RoundID fetches a round's training identifier.
-func (a *APClient) RoundID(round int) ([]byte, error) {
-	resp, err := transport.CallTyped[RoundIDReq, RoundIDResp](a.C, MethodAPRoundID, RoundIDReq{Round: round})
+func (a *APClient) RoundID(ctx context.Context, round int) ([]byte, error) {
+	resp, err := transport.CallTypedContext[RoundIDReq, RoundIDResp](ctx, a.C, MethodAPRoundID, RoundIDReq{Round: round})
 	if err != nil {
 		return nil, err
 	}
@@ -256,8 +257,8 @@ func (a *APClient) RoundID(round int) ([]byte, error) {
 }
 
 // Aggregators lists provisioned aggregator IDs.
-func (a *APClient) Aggregators() ([]string, error) {
-	resp, err := transport.CallTyped[AggregatorsReq, AggregatorsResp](a.C, MethodAPAggregators, AggregatorsReq{})
+func (a *APClient) Aggregators(ctx context.Context) ([]string, error) {
+	resp, err := transport.CallTypedContext[AggregatorsReq, AggregatorsResp](ctx, a.C, MethodAPAggregators, AggregatorsReq{})
 	if err != nil {
 		return nil, err
 	}

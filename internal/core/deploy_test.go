@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -40,7 +41,7 @@ func remotePlatform(t *testing.T, ap *APClient, name string) *sev.Platform {
 	if err != nil {
 		t.Fatal(err)
 	}
-	chain, err := ap.Endorse(name, pub)
+	chain, err := ap.Endorse(context.Background(), name, pub)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestRemoteEndorsementChainVerifies(t *testing.T) {
 
 func TestEndorseEmptyKey(t *testing.T) {
 	_, ap := startAPService(t)
-	if _, err := ap.Endorse("x", nil); err == nil {
+	if _, err := ap.Endorse(context.Background(), "x", nil); err == nil {
 		t.Fatal("empty key endorsed")
 	}
 }
@@ -72,7 +73,7 @@ func TestEndorsedPlatformKeyMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	chain, err := ap.Endorse("host", pub)
+	chain, err := ap.Endorse(context.Background(), "host", pub)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestRemoteAttestationFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ap.AttestCVM("agg-remote", platform, cvm); err != nil {
+	if err := ap.AttestCVM(context.Background(), "agg-remote", platform, cvm); err != nil {
 		t.Fatal(err)
 	}
 	if cvm.State() != sev.StateRunning {
@@ -100,7 +101,7 @@ func TestRemoteAttestationFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pub, err := ap.TokenPubKey("agg-remote")
+	pub, err := ap.TokenPubKey(context.Background(), "agg-remote")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestRemoteAttestationFlow(t *testing.T) {
 	if err := attest.VerifyChallenge(pub, nonce, sig); err != nil {
 		t.Fatalf("Phase II failed after remote Phase I: %v", err)
 	}
-	ids, err := ap.Aggregators()
+	ids, err := ap.Aggregators(context.Background())
 	if err != nil || len(ids) != 1 || ids[0] != "agg-remote" {
 		t.Fatalf("aggregators = %v, %v", ids, err)
 	}
@@ -124,7 +125,7 @@ func TestRemoteAttestationRejectsEvilFirmware(t *testing.T) {
 	evil := append([]byte(nil), OVMF...)
 	evil[0] ^= 1
 	cvm, _ := platform.LaunchCVM(evil)
-	err := ap.AttestCVM("agg-evil", platform, cvm)
+	err := ap.AttestCVM(context.Background(), "agg-evil", platform, cvm)
 	if err == nil {
 		t.Fatal("evil firmware attested")
 	}
@@ -144,7 +145,7 @@ func TestRemoteAttestationRequiresNonce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = transport.CallTyped[AttestReq, AttestResp](ap.C, MethodAPAttest,
+	_, err = transport.CallTypedContext[AttestReq, AttestResp](context.Background(), ap.C, MethodAPAttest,
 		AttestReq{AggregatorID: "agg-x", Report: report})
 	if err == nil {
 		t.Fatal("attestation without AP nonce accepted")
@@ -153,24 +154,24 @@ func TestRemoteAttestationRequiresNonce(t *testing.T) {
 
 func TestBrokerOverRPC(t *testing.T) {
 	_, ap := startAPService(t)
-	if _, err := ap.PermKey("ghost"); err == nil {
+	if _, err := ap.PermKey(context.Background(), "ghost"); err == nil {
 		t.Fatal("unregistered party served")
 	}
-	if err := ap.RegisterParty("P1"); err != nil {
+	if err := ap.RegisterParty(context.Background(), "P1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := ap.RegisterParty(""); err == nil {
+	if err := ap.RegisterParty(context.Background(), ""); err == nil {
 		t.Fatal("empty party ID accepted")
 	}
-	k1, err := ap.PermKey("P1")
+	k1, err := ap.PermKey(context.Background(), "P1")
 	if err != nil || len(k1) != 32 {
 		t.Fatalf("perm key: %v, %v", k1, err)
 	}
-	r1, err := ap.RoundID(1)
+	r1, err := ap.RoundID(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1again, _ := ap.RoundID(1)
+	r1again, _ := ap.RoundID(context.Background(), 1)
 	if !bytes.Equal(r1, r1again) {
 		t.Fatal("round ID unstable")
 	}
@@ -193,12 +194,12 @@ func TestTLSMaterialsSaveLoad(t *testing.T) {
 	transport.HandleTyped(srv, "ping", func(s string) (string, error) { return s, nil })
 	go srv.Serve(ln)
 	defer srv.Close()
-	c, err := m.DialTLS(ln.Addr().String(), "127.0.0.1")
+	c, err := m.DialTLSContext(context.Background(), ln.Addr().String(), "127.0.0.1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	got, err := transport.CallTyped[string, string](c, "ping", "ok")
+	got, err := transport.CallTypedContext[string, string](context.Background(), c, "ping", "ok")
 	if err != nil || got != "ok" {
 		t.Fatalf("ping over loaded TLS: %v, %v", got, err)
 	}

@@ -58,7 +58,7 @@ func TestNetworkedTrainingEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		chain, err := ap.Endorse(fmt.Sprintf("host-%d", j), pub)
+		chain, err := ap.Endorse(context.Background(), fmt.Sprintf("host-%d", j), pub)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,7 +71,7 @@ func TestNetworkedTrainingEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 		id := fmt.Sprintf("agg-%d", j+1)
-		if err := ap.AttestCVM(id, platform, cvm); err != nil {
+		if err := ap.AttestCVM(context.Background(), id, platform, cvm); err != nil {
 			t.Fatal(err)
 		}
 		node, err := NewAggregatorNode(id, agg.IterativeAverage{}, cvm)
@@ -145,13 +145,13 @@ func TestNetworkedTrainingEndToEnd(t *testing.T) {
 		}
 		fleet := &Fleet{Clients: clients, Timeout: 30 * time.Second}
 		ctx := context.Background()
-		if err := fleet.VerifyAndRegisterAll(ctx, id, ap.TokenPubKey, attest.NewNonce, attest.VerifyChallenge); err != nil {
+		if err := fleet.VerifyAndRegisterAll(ctx, id, func(aggID string) ([]byte, error) { return ap.TokenPubKey(ctx, aggID) }, attest.NewNonce, attest.VerifyChallenge); err != nil {
 			return nil, err
 		}
-		if err := ap.RegisterParty(id); err != nil {
+		if err := ap.RegisterParty(context.Background(), id); err != nil {
 			return nil, err
 		}
-		permKey, err := ap.PermKey(id)
+		permKey, err := ap.PermKey(context.Background(), id)
 		if err != nil {
 			return nil, err
 		}
@@ -169,7 +169,7 @@ func TestNetworkedTrainingEndToEnd(t *testing.T) {
 		net.Init([]byte("e2e-init"))
 		global := net.Params()
 		for round := 1; round <= rounds; round++ {
-			roundID, err := ap.RoundID(round)
+			roundID, err := ap.RoundID(context.Background(), round)
 			if err != nil {
 				return nil, err
 			}

@@ -140,12 +140,13 @@ func (a *AggregatorClient) client(ctx context.Context) (*transport.Client, error
 		}
 		return a.C, nil // sticky error surfaces in the call
 	}
+	//lint:ignore lockio redial deliberately serializes callers: the shared connection is dead, so every concurrent call needs the one fresh conn this dial produces
 	conn, err := a.Redial(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: redialing %s: %w", a.ID, err)
 	}
 	if a.C != nil {
-		a.C.Close()
+		_ = a.C.Close() // the old connection already failed; its close error is noise
 	}
 	a.C = transport.NewClient(conn)
 	return a.C, nil

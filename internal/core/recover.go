@@ -15,6 +15,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"path/filepath"
+	"sort"
 
 	"deta/internal/agg"
 	"deta/internal/journal"
@@ -100,14 +101,14 @@ func RecoverAggregatorNode(id string, algorithm agg.Algorithm, cvm *sev.CVM, dir
 	if rec.Snapshot != nil {
 		var snap walSnapshot
 		if err := decodeWAL(rec.Snapshot, &snap); err != nil {
-			j.Close()
+			_ = j.Close() // recovery already failed; report the decode error
 			return nil, nil, fmt.Errorf("core: aggregator %s: decoding snapshot: %w", id, err)
 		}
 		node.restoreSnapshot(snap)
 	}
 	for _, r := range rec.Records {
 		if err := node.applyRecord(r, info); err != nil {
-			j.Close()
+			_ = j.Close() // recovery already failed; report the replay error
 			return nil, nil, fmt.Errorf("core: aggregator %s: replaying journal: %w", id, err)
 		}
 	}
@@ -289,6 +290,18 @@ func (a *AggregatorNode) maybeCompactLocked() {
 	if a.journal.TailLen() < threshold {
 		return
 	}
+	data, err := encodeWAL(a.snapshotLocked())
+	if err != nil {
+		return
+	}
+	a.journal.Compact(data)
+}
+
+// snapshotLocked captures the node's full state as a compaction snapshot.
+// Slice-valued fields are built in sorted order so the snapshot content
+// is deterministic for a given state — map iteration order must never
+// leak into what gets written to disk. Callers must hold a.mu.
+func (a *AggregatorNode) snapshotLocked() walSnapshot {
 	snap := walSnapshot{
 		Quorum:         a.quorum,
 		Retention:      a.retention,
@@ -298,6 +311,7 @@ func (a *AggregatorNode) maybeCompactLocked() {
 	for p := range a.parties {
 		snap.Parties = append(snap.Parties, p)
 	}
+	sort.Strings(snap.Parties)
 	for round, rs := range a.rounds {
 		wr := walRound{
 			Fragments: make(map[string][]float64, len(rs.fragments)),
@@ -314,9 +328,5 @@ func (a *AggregatorNode) maybeCompactLocked() {
 		}
 		snap.Rounds[round] = wr
 	}
-	data, err := encodeWAL(snap)
-	if err != nil {
-		return
-	}
-	a.journal.Compact(data)
+	return snap
 }

@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -458,4 +460,33 @@ func TestAggregatorClientRedial(t *testing.T) {
 		t.Fatalf("upload after restart (with redial): %v", err)
 	}
 	client.C.Close()
+}
+
+// Regression: the compaction snapshot's slice-valued fields must not
+// inherit Go's randomized map iteration order. Parties is built by ranging
+// over the parties map; snapshotLocked must sort it so the bytes that
+// reach the WAL are a pure function of node state.
+func TestSnapshotPartiesSorted(t *testing.T) {
+	proxy, vendor := testTrust(t)
+	cvm := provisionCVM(t, proxy, vendor, "agg-snap")
+	node, err := NewAggregatorNode("agg-snap", agg.IterativeAverage{}, cvm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough parties that an unsorted map range is effectively guaranteed
+	// to betray itself across repeated snapshots.
+	for i := 0; i < 40; i++ {
+		node.Register(fmt.Sprintf("P%02d", i))
+	}
+	node.mu.Lock()
+	defer node.mu.Unlock()
+	for trial := 0; trial < 5; trial++ {
+		snap := node.snapshotLocked()
+		if !sort.StringsAreSorted(snap.Parties) {
+			t.Fatalf("trial %d: snapshot parties unsorted: %v", trial, snap.Parties)
+		}
+		if len(snap.Parties) != 40 {
+			t.Fatalf("trial %d: %d parties, want 40", trial, len(snap.Parties))
+		}
+	}
 }

@@ -2,6 +2,7 @@ package journal
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -310,4 +311,32 @@ func FuzzRecoverTail(f *testing.F) {
 			t.Fatalf("post-recovery append lost: %d records, want %d", n, len(rec.Records)+1)
 		}
 	})
+}
+
+// Regression: Close must report a failed final fsync instead of discarding
+// it — AppendNoSync records are only durable once that last Sync lands, so
+// a caller that sees Close() == nil is entitled to believe they survived.
+func TestCloseReportsSyncError(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, 1, []byte("committed"))
+	// Sabotage the handle underneath the journal: Sync on a closed file
+	// fails with ErrClosed, exactly like a device-level fsync failure
+	// would surface.
+	if err := j.log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err == nil {
+		t.Fatal("Close swallowed the final fsync error")
+	}
+	// The journal is closed regardless; later operations see ErrClosed.
+	if err := j.Append(2, []byte("late")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after failed close: %v, want ErrClosed", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v, want nil", err)
+	}
 }

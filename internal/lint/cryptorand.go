@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// CryptoRand forbids math/rand (v1 and v2) wherever randomness is
+// security-relevant: the keyed permutation/partition derivations, the
+// Paillier cryptosystem, attestation nonces and tokens, and the SEV/TDX
+// platform models. The paper's privacy argument (§4.2) holds only if the
+// mapper and shuffler keys and every attestation nonce come from a CSPRNG
+// or the keyed HMAC stream in internal/rng — a Mersenne-Twister-style
+// generator there is key recovery waiting to happen.
+//
+// math/rand stays legal in the transport's fault/latency *simulation*
+// files and backoff jitter, where predictability is harmless and
+// reproducibility under a fixed seed is the point.
+type CryptoRand struct{}
+
+func (CryptoRand) Name() string { return "cryptorand" }
+func (CryptoRand) Doc() string {
+	return "forbid math/rand in key-handling and attestation packages (use internal/rng or crypto/rand)"
+}
+
+// cryptoRandForbidden lists packages where any math/rand import is a
+// finding.
+var cryptoRandForbidden = []string{
+	"deta/internal/rng",
+	"deta/internal/paillier",
+	"deta/internal/attest",
+	"deta/internal/sev",
+	"deta/internal/tdx",
+	"deta/internal/core",
+}
+
+// cryptoRandSimFiles are the transport files implementing fault/latency
+// simulation and jittered backoff, where seeded math/rand is deliberate.
+var cryptoRandSimFiles = map[string]bool{
+	"fault.go":   true,
+	"latency.go": true,
+	"dial.go":    true,
+}
+
+func (CryptoRand) Run(pkg *Package, r *Reporter) {
+	forbidden := pathIn(pkg.Path, cryptoRandForbidden...)
+	transport := pathIn(pkg.Path, "deta/internal/transport")
+	if !forbidden && !transport {
+		return
+	}
+	for _, file := range pkg.Files {
+		base := filepath.Base(pkg.Fset.Position(file.Pos()).Filename)
+		if transport && cryptoRandSimFiles[base] {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path != "math/rand" && path != "math/rand/v2" {
+				continue
+			}
+			r.Reportf(imp.Pos(),
+				"%s imports %s: security-relevant randomness must come from internal/rng (keyed HMAC stream) or crypto/rand",
+				pkg.Path, path)
+		}
+	}
+}

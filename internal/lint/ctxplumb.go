@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxPlumb enforces context plumbing on the RPC/fleet surface
+// (internal/transport and internal/core): exported functions that take a
+// context.Context must take it as the first parameter, and library code
+// must never mint its own root context — context.Background() (or TODO())
+// inside the transport or core silently detaches an operation from the
+// caller's deadline and cancellation, which is exactly how a dead
+// aggregator turns into a hung party. Entry points (cmd/*) own the root
+// context; everything below them threads it.
+type CtxPlumb struct{}
+
+func (CtxPlumb) Name() string { return "ctxplumb" }
+func (CtxPlumb) Doc() string {
+	return "exported RPC/fleet functions take ctx first and never call context.Background()"
+}
+
+var ctxPlumbScope = []string{
+	"deta/internal/transport",
+	"deta/internal/core",
+}
+
+func (CtxPlumb) Run(pkg *Package, r *Reporter) {
+	if !pathIn(pkg.Path, ctxPlumbScope...) {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if exported(x) {
+					checkCtxFirst(pkg, r, x)
+				}
+			case *ast.CallExpr:
+				if sel, ok := x.Fun.(*ast.SelectorExpr); ok && isContextRoot(pkg, sel) {
+					r.Reportf(x.Pos(),
+						"context.%s() in library code detaches the call from the caller's deadline and cancellation; accept a ctx parameter instead",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxFirst reports an exported function whose context.Context
+// parameter is not in first position.
+func checkCtxFirst(pkg *Package, r *Reporter, fn *ast.FuncDecl) {
+	if fn.Type.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range fn.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pkg, field.Type) && pos > 0 {
+			r.Reportf(field.Pos(),
+				"%s: context.Context must be the first parameter", fn.Name.Name)
+			return
+		}
+		pos += n
+	}
+}
+
+func isContextType(pkg *Package, expr ast.Expr) bool {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isContextRoot matches context.Background / context.TODO by resolved
+// object, not by name, so a local variable called `context` cannot
+// confuse it.
+func isContextRoot(pkg *Package, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Background" && sel.Sel.Name != "TODO" {
+		return false
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "context"
+}

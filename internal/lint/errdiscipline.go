@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDiscipline flags silently discarded errors from the durability
+// surface in internal/journal and internal/core: Sync, Close, and Commit
+// on anything, plus Write on *os.File. The WAL's commit-before-ack
+// guarantee is only as strong as its error handling — a dropped fsync or
+// Close error acknowledges state the disk never accepted, which a crash
+// then quietly loses.
+//
+// Deliberate discards must be explicit: assign to blank (`_ = f.Close()`)
+// or annotate with //lint:ignore errdiscipline <reason>. Bare expression
+// statements and bare `defer f.Close()` are findings.
+type ErrDiscipline struct{}
+
+func (ErrDiscipline) Name() string { return "errdiscipline" }
+func (ErrDiscipline) Doc() string {
+	return "flag discarded Sync/Close/Write/Commit errors on the journal/recovery path"
+}
+
+var errDisciplineScope = []string{
+	"deta/internal/journal",
+	"deta/internal/core",
+}
+
+// errDisciplineAlways are method names whose error result must never be
+// dropped regardless of receiver.
+var errDisciplineAlways = map[string]bool{
+	"Sync": true, "Close": true, "Commit": true,
+}
+
+// errDisciplineFileOnly are method names checked only on *os.File (an
+// io.Writer wrapper like bytes.Buffer or hash.Hash documents its Write as
+// infallible, so flagging every Write would drown the signal).
+var errDisciplineFileOnly = map[string]bool{
+	"Write": true, "WriteString": true, "WriteAt": true,
+}
+
+func (ErrDiscipline) Run(pkg *Package, r *Reporter) {
+	if !pathIn(pkg.Path, errDisciplineScope...) {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			kind := "discarded"
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = st.Call
+				kind = "deferred and discarded"
+			case *ast.GoStmt:
+				call = st.Call
+				kind = "discarded in goroutine"
+			}
+			if call == nil {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if !errDisciplineAlways[name] && !errDisciplineFileOnly[name] {
+				return true
+			}
+			if !returnsError(pkg, call) {
+				return true
+			}
+			if errDisciplineFileOnly[name] && !errDisciplineAlways[name] && !isOSFileRecv(pkg, sel) {
+				return true
+			}
+			r.Reportf(call.Pos(),
+				"%s error from %s.%s: a dropped durability error acknowledges state the disk may not hold (check it, or assign to _ with a reason)",
+				kind, types.ExprString(sel.X), name)
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return typeHasError(tv.Type)
+}
+
+func typeHasError(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// isOSFileRecv reports whether the selector's receiver is an *os.File.
+func isOSFileRecv(pkg *Package, sel *ast.SelectorExpr) bool {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "File" && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}

@@ -1,0 +1,227 @@
+// Package lint is deta's in-tree static-analysis framework: a small
+// analyzer interface over go/ast + go/types (no golang.org/x/tools), the
+// project-specific analyzers that enforce DeTA's security and determinism
+// invariants, and the package loader that feeds them.
+//
+// The enforced invariants (see DESIGN.md §10):
+//
+//   - cryptorand:     keyed/secret randomness must never come from math/rand
+//   - maporder:       no order-dependent accumulation over map iteration
+//   - errdiscipline:  no silently dropped Sync/Close/Write/Commit errors on
+//     the durability path
+//   - ctxplumb:       RPC/fleet surfaces take a caller context, first, and
+//     never mint context.Background() internally
+//   - mutexcopy:      no by-value copies of lock-bearing structs
+//   - lockio:         no network/disk I/O while holding a mutex in core
+//
+// A finding on a line can be acknowledged — never silently — with a
+// comment on that line or the line above:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory: an ignore without one is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package as the analyzers see it.
+// Test files (_test.go) are never included: the invariants guard
+// production paths, and tests legitimately use context.Background(),
+// best-effort Closes, and seeded math/rand.
+type Package struct {
+	Path  string // import path ("deta/internal/core")
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Finding is one analyzer hit, position-resolved for file:line output.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Reporter collects findings for one (package, analyzer) run.
+type Reporter struct {
+	analyzer string
+	pkg      *Package
+	mu       sync.Mutex
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (r *Reporter) Reportf(pos token.Pos, format string, args ...any) {
+	p := r.pkg.Fset.Position(pos)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.findings = append(r.findings, Finding{
+		Analyzer: r.analyzer,
+		Pos:      p,
+		File:     p.Filename,
+		Line:     p.Line,
+		Col:      p.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one invariant checker. Run inspects a single package and
+// reports findings; it must be safe to call concurrently for different
+// packages.
+type Analyzer interface {
+	Name() string
+	Doc() string
+	Run(pkg *Package, r *Reporter)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []Analyzer {
+	return []Analyzer{
+		CryptoRand{},
+		MapOrder{},
+		ErrDiscipline{},
+		CtxPlumb{},
+		MutexCopy{},
+		LockIO{},
+	}
+}
+
+// Run executes the analyzers over the packages (concurrently across
+// packages), applies //lint:ignore suppression, and returns the surviving
+// findings sorted by position. Malformed ignore directives (no analyzer
+// name or no reason) are reported as findings of the pseudo-analyzer
+// "lintignore".
+func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	var (
+		mu  sync.Mutex
+		all []Finding
+		wg  sync.WaitGroup
+	)
+	for _, pkg := range pkgs {
+		wg.Add(1)
+		go func(pkg *Package) {
+			defer wg.Done()
+			sup, bad := suppressions(pkg)
+			var local []Finding
+			for _, a := range analyzers {
+				r := &Reporter{analyzer: a.Name(), pkg: pkg}
+				a.Run(pkg, r)
+				for _, f := range r.findings {
+					if sup[supKey{f.Analyzer, f.File, f.Line}] {
+						continue
+					}
+					local = append(local, f)
+				}
+			}
+			local = append(local, bad...)
+			mu.Lock()
+			all = append(all, local...)
+			mu.Unlock()
+		}(pkg)
+	}
+	wg.Wait()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		if all[i].Line != all[j].Line {
+			return all[i].Line < all[j].Line
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all
+}
+
+type supKey struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+// suppressions scans a package's comments for //lint:ignore directives.
+// A directive suppresses the named analyzer on its own line and on the
+// following line (the usual "comment above the statement" placement).
+func suppressions(pkg *Package) (map[supKey]bool, []Finding) {
+	sup := make(map[supKey]bool)
+	var bad []Finding
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "lintignore",
+						Pos:      pos,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  "malformed directive: want //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				sup[supKey{fields[0], pos.Filename, pos.Line}] = true
+				sup[supKey{fields[0], pos.Filename, pos.Line + 1}] = true
+			}
+		}
+	}
+	return sup, bad
+}
+
+// exported reports whether a function declaration is part of the package's
+// exported surface (exported name; for methods, an exported receiver type
+// too).
+func exported(fn *ast.FuncDecl) bool {
+	if !fn.Name.IsExported() {
+		return false
+	}
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// pathIn reports whether importPath is pkg or a subpackage of pkg.
+func pathIn(importPath string, pkgs ...string) bool {
+	for _, p := range pkgs {
+		if importPath == p || strings.HasPrefix(importPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}

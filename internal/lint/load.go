@@ -1,0 +1,245 @@
+package lint
+
+// Package loading without golang.org/x/tools: `go list -e -json -deps`
+// enumerates the requested packages plus every build dependency in
+// topological (dependencies-first) order, and each package is parsed with
+// go/parser and type-checked with go/types against the packages checked
+// before it. Dependency packages are checked with IgnoreFuncBodies — only
+// their exported API matters — so a full-module load stays fast.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Loader turns import paths into type-checked Packages. It caches the
+// type-checked dependency universe, so loading fixtures after a full-tree
+// load reuses the stdlib work. Safe for concurrent use.
+type Loader struct {
+	Fset *token.FileSet
+
+	mu   sync.Mutex
+	deps map[string]*types.Package // type-checked packages by import path
+}
+
+// NewLoader returns an empty loader with a fresh FileSet.
+func NewLoader() *Loader {
+	return &Loader{Fset: token.NewFileSet(), deps: make(map[string]*types.Package)}
+}
+
+// Load resolves the go-list patterns (e.g. "./...") relative to dir and
+// returns a type-checked Package for every non-dependency match, sorted by
+// import path. Dependency packages are type-checked API-only and cached.
+func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, m := range metas {
+		pkg, err := l.check(m, m.DepOnly, true)
+		if err != nil {
+			return nil, err
+		}
+		if m.DepOnly || pkg == nil {
+			continue
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir type-checks the single package rooted at dir (every non-test
+// .go file in it) under the given import path. Used by analyzer fixture
+// tests: a testdata package can pose as e.g. "deta/internal/rng" so
+// path-scoped analyzers apply to it. Imports must already be loadable via
+// `go list` (stdlib is always fine).
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	m := &listPkg{ImportPath: importPath, Dir: dir, GoFiles: files}
+	// Parse once to discover imports, then make sure they are all checked.
+	fset := token.NewFileSet()
+	imports := map[string]bool{}
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, filepath.Join(dir, f), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range af.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	var missing []string
+	l.mu.Lock()
+	for p := range imports {
+		if l.deps[p] == nil && p != "unsafe" {
+			missing = append(missing, p)
+		}
+	}
+	l.mu.Unlock()
+	if len(missing) > 0 {
+		metas, err := goList(dir, missing)
+		if err != nil {
+			return nil, err
+		}
+		for _, dep := range metas {
+			if _, err := l.check(dep, true, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// The posed package must NOT enter the dependency cache: a fixture
+	// posing as "deta/internal/journal" would otherwise shadow the real
+	// package for every later import of that path.
+	return l.check(m, false, false)
+}
+
+// check parses and type-checks one package. apiOnly skips function bodies
+// (dependency mode); cache controls whether the result is published for
+// import by later packages (false for posed fixture packages).
+func (l *Loader) check(m *listPkg, apiOnly, cache bool) (*Package, error) {
+	if m.ImportPath == "unsafe" {
+		l.mu.Lock()
+		l.deps["unsafe"] = types.Unsafe
+		l.mu.Unlock()
+		return nil, nil
+	}
+	if m.Error != nil {
+		return nil, fmt.Errorf("lint: %s: %s", m.ImportPath, m.Error.Err)
+	}
+	l.mu.Lock()
+	if cached := l.deps[m.ImportPath]; cached != nil && apiOnly {
+		l.mu.Unlock()
+		return nil, nil
+	}
+	l.mu.Unlock()
+
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		af, err := parser.ParseFile(l.Fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", m.ImportPath, err)
+		}
+		files = append(files, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer:         l,
+		FakeImportC:      true,
+		IgnoreFuncBodies: apiOnly,
+		Sizes:            types.SizesFor("gc", runtime.GOARCH),
+		Error:            func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(m.ImportPath, l.Fset, files, info)
+	// Standard-library dependencies occasionally trip go/types on exotic
+	// internals; their partial API is still usable. Errors in the module's
+	// own packages are fatal — the linter must not report against a
+	// half-checked tree.
+	if len(typeErrs) > 0 && !m.Standard {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", m.ImportPath, typeErrs[0])
+	}
+	if cache {
+		l.mu.Lock()
+		l.deps[m.ImportPath] = tpkg
+		l.mu.Unlock()
+	}
+	return &Package{
+		Path:  m.ImportPath,
+		Dir:   m.Dir,
+		Fset:  l.Fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// Import implements types.Importer against the loader's cache; go list
+// -deps order guarantees dependencies are checked before their importers.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	l.mu.Lock()
+	p := l.deps[path]
+	l.mu.Unlock()
+	if p == nil {
+		return nil, fmt.Errorf("lint: import %q not loaded", path)
+	}
+	return p, nil
+}
+
+// goList shells out to the go tool for package metadata. CGO_ENABLED=0
+// keeps the file lists pure-Go so go/types can check everything from
+// source.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %v: %s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var metas []*listPkg
+	for {
+		var m listPkg
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		metas = append(metas, &m)
+	}
+	return metas, nil
+}

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockIO flags network or disk I/O performed while a mutex is held in
+// internal/core. A round's critical sections guard in-memory maps and
+// must stay microsecond-scale; a dial, RPC, or file write under the lock
+// couples every other party's request to one peer's disk or network
+// latency — the exact convoy the fan-out layer exists to avoid. The
+// analysis is per-function: a `mu.Lock()` opens a region that ends at the
+// matching inline `mu.Unlock()` or, with `defer mu.Unlock()`, at the end
+// of the function; calls landing in the region whose callee is an I/O
+// method (net, os, internal/transport, internal/journal receivers) or a
+// Dial/Redial function are reported.
+//
+// The deliberate exception — the WAL's commit-before-ack, which *must*
+// write under the round lock — is acknowledged where it happens with
+// //lint:ignore lockio and a reason.
+type LockIO struct{}
+
+func (LockIO) Name() string { return "lockio" }
+func (LockIO) Doc() string {
+	return "flag network/disk I/O while holding a mutex in internal/core"
+}
+
+// lockIOPkgs are the packages whose method receivers count as I/O.
+var lockIOPkgs = map[string]bool{
+	"net":                     true,
+	"os":                      true,
+	"deta/internal/journal":   true,
+	"deta/internal/transport": true,
+}
+
+// lockIOVerbs are the receiver methods that perform I/O (Close excluded:
+// closing a dead descriptor under a lock is cheap and common).
+var lockIOVerbs = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+	"Sync": true, "Append": true, "AppendNoSync": true, "Compact": true,
+	"Call": true, "CallContext": true, "Ping": true, "Accept": true,
+}
+
+func (LockIO) Run(pkg *Package, r *Reporter) {
+	if !pathIn(pkg.Path, "deta/internal/core") {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkLockIOFunc(pkg, r, fn)
+			return true
+		})
+	}
+}
+
+type lockRegion struct {
+	key        string // printed mutex expr, e.g. "a.mu"
+	start, end token.Pos
+}
+
+func checkLockIOFunc(pkg *Package, r *Reporter, fn *ast.FuncDecl) {
+	type unlock struct {
+		key      string
+		pos      token.Pos
+		deferred bool
+	}
+	var locks []lockRegion
+	var unlocks []unlock
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if key, name, ok := mutexOp(pkg, st.X); ok {
+				if name == "Lock" || name == "RLock" {
+					locks = append(locks, lockRegion{key: key, start: st.End(), end: fn.Body.End()})
+				} else {
+					unlocks = append(unlocks, unlock{key: key, pos: st.Pos()})
+				}
+			}
+		case *ast.DeferStmt:
+			if key, name, ok := mutexOp(pkg, st.Call); ok && (name == "Unlock" || name == "RUnlock") {
+				unlocks = append(unlocks, unlock{key: key, pos: st.Pos(), deferred: true})
+			}
+		}
+		return true
+	})
+	if len(locks) == 0 {
+		return
+	}
+	// Close each region at the first inline unlock of the same mutex after
+	// it; a deferred unlock (or none) keeps it open to the function end.
+	for i := range locks {
+		for _, u := range unlocks {
+			if !u.deferred && u.key == locks[i].key && u.pos > locks[i].start && u.pos < locks[i].end {
+				locks[i].end = u.pos
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		desc, isIO := ioCallee(pkg, call)
+		if !isIO {
+			return true
+		}
+		for _, lr := range locks {
+			if call.Pos() > lr.start && call.Pos() < lr.end {
+				r.Reportf(call.Pos(),
+					"%s while holding %s: I/O under a core mutex convoys every concurrent caller behind one peer's disk/network latency",
+					desc, lr.key)
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp matches `<expr>.Lock()/RLock()/Unlock()/RUnlock()` where the
+// receiver is a sync.Mutex or sync.RWMutex, returning the printed
+// receiver expression as the region key.
+func mutexOp(pkg *Package, e ast.Expr) (key, name string, ok bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok {
+		return "", "", false
+	}
+	t := s.Recv()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}
+
+// ioCallee classifies a call as I/O: a method whose receiver type lives in
+// net/os/journal/transport and whose name is an I/O verb, or a call
+// through a Dial*/Redial function (field, variable, or package function).
+func ioCallee(pkg *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if s, ok := pkg.Info.Selections[sel]; ok {
+		if s.Kind() == types.FieldVal {
+			// Func-typed field, e.g. AggregatorClient.Redial.
+			if name == "Redial" || strings.HasPrefix(name, "Dial") {
+				return "call through " + types.ExprString(sel.X) + "." + name, true
+			}
+			return "", false
+		}
+		if !lockIOVerbs[name] {
+			return "", false
+		}
+		t := s.Recv()
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		named, isNamed := t.(*types.Named)
+		if !isNamed || named.Obj().Pkg() == nil || !lockIOPkgs[named.Obj().Pkg().Path()] {
+			return "", false
+		}
+		return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + name + " I/O", true
+	}
+	// Package-qualified function: net.Dial, transport.DialBackoff, ...
+	obj := pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	p := obj.Pkg().Path()
+	if (p == "net" || p == "deta/internal/transport") && strings.HasPrefix(name, "Dial") {
+		return obj.Pkg().Name() + "." + name + " dial", true
+	}
+	return "", false
+}

@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags loop bodies that make map iteration order observable in
+// packages where bit-identical results are a protocol requirement: the
+// aggregators must fuse identically across parties, and crash-recovery
+// replay must reproduce the exact pre-crash state (PR 3's chaos test
+// asserts bit-identical models). Go randomizes map iteration order per
+// run, so any of the following inside `for ... range m` over a map is a
+// nondeterminism bug unless proven otherwise:
+//
+//   - appending to a slice declared outside the loop (unless the slice is
+//     passed to a sort.* / slices.* call later in the same function — the
+//     collect-then-sort idiom is the blessed fix);
+//   - compound accumulation (+= -= *= /=) into a float declared outside
+//     the loop (float addition is not associative, so the sum's bits
+//     depend on visit order);
+//   - writing journal records (Journal.Append/AppendNoSync/Compact or the
+//     aggregator's logEvent* helpers) — the WAL's record order would then
+//     differ between the original run and any re-execution.
+type MapOrder struct{}
+
+func (MapOrder) Name() string { return "maporder" }
+func (MapOrder) Doc() string {
+	return "flag order-dependent accumulation or journal writes inside map iteration"
+}
+
+// mapOrderScope lists the packages whose outputs must be bit-deterministic.
+var mapOrderScope = []string{
+	"deta/internal/core",
+	"deta/internal/agg",
+	"deta/internal/journal",
+	"deta/internal/tensor",
+	"deta/internal/fl",
+	"deta/internal/rng",
+}
+
+// journalWriteMethods are order-sensitive sinks: appending to the WAL.
+var journalWriteMethods = map[string]bool{
+	"Append": true, "AppendNoSync": true, "Compact": true,
+	"logEvent": true, "logEventDurable": true, "logEventAdvisory": true,
+}
+
+func (MapOrder) Run(pkg *Package, r *Reporter) {
+	if !pathIn(pkg.Path, mapOrderScope...) {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkMapOrderFunc(pkg, r, fn)
+			return true
+		})
+	}
+}
+
+func checkMapOrderFunc(pkg *Package, r *Reporter, fn *ast.FuncDecl) {
+	sorted := sortedExprs(pkg, fn)
+	ast.Inspect(fn, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapRange(pkg, rng) {
+			return true
+		}
+		checkMapRangeBody(pkg, r, rng, sorted)
+		return true
+	})
+}
+
+// sortedExprs collects the (printed) first arguments of every sort.* and
+// slices.* call in fn: slices that get sorted somewhere in the function
+// are exempt from the append rule.
+func sortedExprs(pkg *Package, fn *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
+			out[types.ExprString(call.Args[0])] = true
+		}
+		return true
+	})
+	return out
+}
+
+func isMapRange(pkg *Package, rng *ast.RangeStmt) bool {
+	tv, ok := pkg.Info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func checkMapRangeBody(pkg *Package, r *Reporter, rng *ast.RangeStmt, sorted map[string]bool) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.RangeStmt:
+			if st != rng && isMapRange(pkg, st) {
+				return false // nested map range reports its own findings
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pkg, r, rng, st, sorted)
+		case *ast.CallExpr:
+			if sel, ok := st.Fun.(*ast.SelectorExpr); ok && journalWriteMethods[sel.Sel.Name] {
+				if isJournalWrite(pkg, sel) {
+					r.Reportf(st.Pos(),
+						"journal write %s.%s inside map iteration: WAL record order becomes nondeterministic, breaking replay",
+						types.ExprString(sel.X), sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(pkg *Package, r *Reporter, rng *ast.RangeStmt, st *ast.AssignStmt, sorted map[string]bool) {
+	// x = append(x, ...) with x from outside the loop.
+	if st.Tok == token.ASSIGN && len(st.Rhs) == 1 {
+		if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+				target := types.ExprString(call.Args[0])
+				if target == types.ExprString(st.Lhs[0]) && declaredOutside(pkg, st.Lhs[0], rng) && !sorted[target] {
+					r.Reportf(st.Pos(),
+						"append to %s inside map iteration: element order is nondeterministic (collect then sort, or iterate sorted keys)",
+						target)
+				}
+			}
+		}
+	}
+	// Float compound accumulation: sum += v and friends.
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := st.Lhs[0]
+		tv, ok := pkg.Info.Types[lhs]
+		if !ok || tv.Type == nil {
+			return
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+			if declaredOutside(pkg, lhs, rng) {
+				r.Reportf(st.Pos(),
+					"float accumulation into %s inside map iteration: float addition is order-dependent, so the result is not bit-deterministic",
+					types.ExprString(lhs))
+			}
+		}
+	}
+}
+
+// declaredOutside reports whether the assignment target lives outside the
+// range statement (a selector or index rooted outside, or an ident whose
+// declaration precedes the loop). Targets created inside the loop body are
+// per-iteration and harmless.
+func declaredOutside(pkg *Package, expr ast.Expr, rng *ast.RangeStmt) bool {
+	for {
+		switch x := expr.(type) {
+		case *ast.SelectorExpr:
+			expr = x.X
+			continue
+		case *ast.IndexExpr:
+			expr = x.X
+			continue
+		case *ast.StarExpr:
+			expr = x.X
+			continue
+		case *ast.Ident:
+			obj := pkg.Info.Uses[x]
+			if obj == nil {
+				obj = pkg.Info.Defs[x]
+			}
+			if obj == nil {
+				return true
+			}
+			return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+		default:
+			return true
+		}
+	}
+}
+
+// isJournalWrite reports whether sel is a WAL write: a method on a type
+// named Journal, or one of the aggregator's logEvent* helpers (matched by
+// name so fixtures and future wrappers are covered without importing the
+// journal package here).
+func isJournalWrite(pkg *Package, sel *ast.SelectorExpr) bool {
+	name := sel.Sel.Name
+	if name == "logEvent" || name == "logEventDurable" || name == "logEventAdvisory" {
+		return true
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Journal"
+}

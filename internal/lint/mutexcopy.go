@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopy flags by-value copies of lock-bearing structs: value
+// receivers, value parameters, range-value copies, and plain assignments
+// whose type (transitively) contains a sync.Mutex, RWMutex, Once,
+// WaitGroup, or Cond. A copied mutex is a fork of the lock state — both
+// copies think they own it — which turns into silent data corruption
+// under -race-invisible schedules. `go vet -copylocks` catches many of
+// these; this analyzer keeps the invariant enforced inside deta-lint's
+// single gate and extends it to value receivers.
+type MutexCopy struct{}
+
+func (MutexCopy) Name() string { return "mutexcopy" }
+func (MutexCopy) Doc() string {
+	return "flag by-value copies (receiver, param, range, assignment) of lock-bearing structs"
+}
+
+func (MutexCopy) Run(pkg *Package, r *Reporter) {
+	if !pathIn(pkg.Path, "deta") {
+		return
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				checkLockRecvParams(pkg, r, x)
+			case *ast.RangeStmt:
+				checkLockRangeCopy(pkg, r, x)
+			case *ast.AssignStmt:
+				checkLockAssignCopy(pkg, r, x)
+			}
+			return true
+		})
+	}
+}
+
+func checkLockRecvParams(pkg *Package, r *Reporter, fn *ast.FuncDecl) {
+	if fn.Recv != nil {
+		for _, f := range fn.Recv.List {
+			if t := exprLockType(pkg, f.Type); t != "" {
+				r.Reportf(f.Pos(),
+					"%s: value receiver copies %s (which holds a %s); use a pointer receiver",
+					fn.Name.Name, types.ExprString(f.Type), t)
+			}
+		}
+	}
+	if fn.Type.Params != nil {
+		for _, f := range fn.Type.Params.List {
+			if t := exprLockType(pkg, f.Type); t != "" {
+				r.Reportf(f.Pos(),
+					"%s: parameter passes %s by value (which holds a %s); pass a pointer",
+					fn.Name.Name, types.ExprString(f.Type), t)
+			}
+		}
+	}
+}
+
+func checkLockRangeCopy(pkg *Package, r *Reporter, rng *ast.RangeStmt) {
+	if rng.Value == nil {
+		return
+	}
+	// A `:=` range defines its value ident (recorded in Defs); an `=`
+	// range assigns to an existing expression (recorded in Types).
+	var vt types.Type
+	if id, ok := rng.Value.(*ast.Ident); ok {
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			vt = obj.Type()
+		} else if obj := pkg.Info.Uses[id]; obj != nil {
+			vt = obj.Type()
+		}
+	}
+	if vt == nil {
+		tv, ok := pkg.Info.Types[rng.Value]
+		if !ok || tv.Type == nil {
+			return
+		}
+		vt = tv.Type
+	}
+	if t := lockIn(vt, nil); t != "" {
+		r.Reportf(rng.Value.Pos(),
+			"range value copies a struct holding a %s; iterate by index or store pointers", t)
+	}
+}
+
+func checkLockAssignCopy(pkg *Package, r *Reporter, st *ast.AssignStmt) {
+	for i, rhs := range st.Rhs {
+		if i >= len(st.Lhs) {
+			break
+		}
+		// Only flag copies of *existing* values: an ident, selector, index,
+		// or dereference. Composite literals and calls construct fresh
+		// values, which is how zero-valued mutexes are born legitimately.
+		switch rhs.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		default:
+			continue
+		}
+		tv, ok := pkg.Info.Types[rhs]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if t := lockIn(tv.Type, nil); t != "" {
+			r.Reportf(st.Pos(),
+				"assignment copies %s (which holds a %s); copy a pointer instead",
+				types.ExprString(rhs), t)
+		}
+	}
+}
+
+// exprLockType resolves a (possibly pointer) type expression and returns
+// the lock type it carries by value, or "" — pointers don't copy.
+func exprLockType(pkg *Package, expr ast.Expr) string {
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return ""
+	}
+	return lockIn(tv.Type, nil)
+}
+
+// lockIn reports the sync primitive a type transitively contains by value
+// ("" if none). seen guards recursive types.
+func lockIn(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "Once", "WaitGroup", "Cond":
+				return "sync." + obj.Name()
+			}
+		}
+		return lockIn(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if l := lockIn(u.Field(i).Type(), seen); l != "" {
+				return l
+			}
+		}
+	case *types.Array:
+		return lockIn(u.Elem(), seen)
+	}
+	return ""
+}

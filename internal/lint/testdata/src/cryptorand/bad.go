@@ -1,0 +1,15 @@
+// Package rng poses as deta/internal/rng for the cryptorand fixture:
+// math/rand in a key-handling package is always a finding.
+package rng
+
+import (
+	"math/rand" // want cryptorand
+
+	mrv2 "math/rand/v2" // want cryptorand
+)
+
+// Perm leaks key-derivation randomness through a seedable PRNG.
+func Perm(n int) []int { return rand.Perm(n) }
+
+// Jitter is just as illegal here: v2 is still not a CSPRNG.
+func Jitter() float64 { return mrv2.Float64() }

@@ -1,0 +1,13 @@
+package rng
+
+import (
+	"crypto/rand"
+	"io"
+)
+
+// Nonce draws from the CSPRNG; no finding.
+func Nonce() ([]byte, error) {
+	b := make([]byte, 16)
+	_, err := io.ReadFull(rand.Reader, b)
+	return b, err
+}

@@ -1,0 +1,30 @@
+// Package core poses as deta/internal/core for the ctxplumb fixture:
+// exported functions must take their context first, and library code
+// must never mint its own root context.
+package core
+
+import "context"
+
+// Client is a fake RPC surface.
+type Client struct{}
+
+// Fetch takes its context in the wrong position.
+func (c *Client) Fetch(id string, ctx context.Context) error { // want ctxplumb
+	return ctx.Err()
+}
+
+// Get threads the caller's context correctly; no finding.
+func (c *Client) Get(ctx context.Context, id string) error {
+	return ctx.Err()
+}
+
+// detach mints a root context inside library code, cutting the operation
+// loose from the caller's deadline.
+func detach() context.Context {
+	return context.Background() // want ctxplumb
+}
+
+// todo is no better than detach.
+func todo() context.Context {
+	return context.TODO() // want ctxplumb
+}

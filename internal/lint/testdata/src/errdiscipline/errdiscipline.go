@@ -1,0 +1,38 @@
+// Package journal poses as deta/internal/journal for the errdiscipline
+// fixture: dropped Sync/Close/Write errors on the durability surface are
+// findings; checked errors, explicit blanks, and infallible writers are
+// not.
+package journal
+
+import (
+	"hash/crc32"
+	"os"
+)
+
+// flushBad drops durability errors four different ways.
+func flushBad(f *os.File) {
+	f.Sync()                 // want errdiscipline
+	defer f.Close()          // want errdiscipline
+	go f.Sync()              // want errdiscipline
+	f.Write([]byte("frame")) // want errdiscipline
+}
+
+// flushGood checks or explicitly blanks every error; no finding.
+func flushGood(f *os.File) error {
+	if _, err := f.Write([]byte("frame")); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	_ = f.Close()
+	return nil
+}
+
+// checksum writes into a hash.Hash, which documents Write as infallible;
+// flagging it would drown the real signal, so no finding.
+func checksum(b []byte) uint32 {
+	h := crc32.New(crc32.MakeTable(crc32.Castagnoli))
+	h.Write(b)
+	return h.Sum32()
+}

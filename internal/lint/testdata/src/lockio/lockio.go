@@ -1,0 +1,51 @@
+// Package core poses as deta/internal/core for the lockio fixture:
+// network or disk I/O inside a mutex region convoys every concurrent
+// caller; I/O after the unlock is fine.
+package core
+
+import (
+	"net"
+	"sync"
+)
+
+type peer struct {
+	mu   sync.Mutex
+	conn net.Conn
+	buf  []byte
+}
+
+// badInline reads from the network inside the lock's inline region.
+func (p *peer) badInline(b []byte) (int, error) {
+	p.mu.Lock()
+	n, err := p.conn.Read(b) // want lockio
+	p.mu.Unlock()
+	return n, err
+}
+
+// badDeferred holds the lock (deferred unlock) across a network write.
+func (p *peer) badDeferred(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn.Write(b) // want lockio
+}
+
+// goodAfterUnlock copies state under the lock and does I/O outside it —
+// the pattern the analyzer exists to push code toward.
+func (p *peer) goodAfterUnlock() (int, error) {
+	p.mu.Lock()
+	out := append([]byte(nil), p.buf...)
+	p.mu.Unlock()
+	return p.conn.Write(out)
+}
+
+// badDial blocks every other caller behind one peer's connect latency.
+func (p *peer) badDial(addr string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	conn, err := net.Dial("tcp", addr) // want lockio
+	if err != nil {
+		return err
+	}
+	p.conn = conn
+	return nil
+}

@@ -1,0 +1,47 @@
+// Package core poses as deta/internal/core for the mutexcopy fixture:
+// every by-value copy of a lock-bearing struct forks its lock state.
+package core
+
+import "sync"
+
+// Counter guards n with a by-value mutex.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bad copies the receiver — and its lock state — on every call.
+func (c Counter) Bad() int { // want mutexcopy
+	return c.n
+}
+
+// Good takes a pointer; no finding.
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Sum passes a Counter by value; the pointer slice is fine.
+func Sum(cs []*Counter, c Counter) int { // want mutexcopy
+	total := c.n
+	for _, p := range cs {
+		total += p.n
+	}
+	return total
+}
+
+// Drain copies each element out of the slice as it ranges.
+func Drain(cs []Counter) int {
+	total := 0
+	for _, c := range cs { // want mutexcopy
+		total += c.n
+	}
+	return total
+}
+
+// Snapshot copies the whole struct through a dereference.
+func Snapshot(c *Counter) int {
+	snap := *c // want mutexcopy
+	return snap.n
+}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -41,7 +42,7 @@ func BenchmarkFanOutSequential(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, c := range clients {
-					if _, err := CallTyped[echoReq, echoResp](c, "echo", echoReq{Msg: "frag"}); err != nil {
+					if _, err := CallTypedContext[echoReq, echoResp](context.Background(), c, "echo", echoReq{Msg: "frag"}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -62,7 +63,7 @@ func BenchmarkFanOutParallel(b *testing.B) {
 					wg.Add(1)
 					go func(j int, c *Client) {
 						defer wg.Done()
-						_, errs[j] = CallTyped[echoReq, echoResp](c, "echo", echoReq{Msg: "frag"})
+						_, errs[j] = CallTypedContext[echoReq, echoResp](context.Background(), c, "echo", echoReq{Msg: "frag"})
 					}(j, c)
 				}
 				wg.Wait()
@@ -91,13 +92,13 @@ func BenchmarkPipelinedSingleConn(b *testing.B) {
 					wg.Add(1)
 					go func() {
 						defer wg.Done()
-						CallTyped[echoReq, echoResp](c, "echo", echoReq{Msg: "m"})
+						CallTypedContext[echoReq, echoResp](context.Background(), c, "echo", echoReq{Msg: "m"})
 					}()
 				}
 				wg.Wait()
 			} else {
 				for j := 0; j < batch; j++ {
-					if _, err := CallTyped[echoReq, echoResp](c, "echo", echoReq{Msg: "m"}); err != nil {
+					if _, err := CallTypedContext[echoReq, echoResp](context.Background(), c, "echo", echoReq{Msg: "m"}); err != nil {
 						b.Fatal(err)
 					}
 				}

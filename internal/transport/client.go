@@ -58,11 +58,6 @@ func NewClient(conn net.Conn) *Client {
 	return c
 }
 
-// Call sends a request and waits for its response, with no deadline.
-func (c *Client) Call(method string, body []byte) ([]byte, error) {
-	return c.CallContext(context.Background(), method, body)
-}
-
 // CallContext sends a request and waits until the response arrives, the
 // context ends, or the connection fails. A context timeout abandons the
 // call (a late response is discarded) without poisoning the connection.
@@ -211,6 +206,7 @@ func (c *Client) EnableKeepAlive(interval, timeout time.Duration) {
 				case <-c.dead:
 					return
 				case <-t.C:
+					//lint:ignore ctxplumb the keepalive loop outlives any single caller by design; its pings are bounded by the explicit timeout instead
 					ctx, cancel := context.WithTimeout(context.Background(), timeout)
 					err := c.Ping(ctx)
 					cancel()
@@ -233,12 +229,8 @@ func (c *Client) Close() error {
 	return nil
 }
 
-// CallTyped performs a Call with gob-encoded request and response values.
-func CallTyped[Req, Resp any](c *Client, method string, req Req) (Resp, error) {
-	return CallTypedContext[Req, Resp](context.Background(), c, method, req)
-}
-
-// CallTypedContext is CallTyped with a per-call context deadline.
+// CallTypedContext performs a CallContext with gob-encoded request and
+// response values.
 func CallTypedContext[Req, Resp any](ctx context.Context, c *Client, method string, req Req) (Resp, error) {
 	var zero Resp
 	body, err := Encode(req)

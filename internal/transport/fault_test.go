@@ -27,7 +27,7 @@ func TestFaultConnCleanPlanPassesThrough(t *testing.T) {
 	}
 	c := NewClient(NewFaultConn(conn, Faults{Seed: 1}))
 	defer c.Close()
-	out, err := c.Call("echo", []byte("hello"))
+	out, err := c.CallContext(context.Background(), "echo", []byte("hello"))
 	if err != nil || string(out) != "hello" {
 		t.Fatalf("Call = %q, %v", out, err)
 	}
@@ -41,7 +41,7 @@ func TestFaultConnSeverFailsCalls(t *testing.T) {
 	}
 	c := NewClient(NewFaultConn(conn, Faults{Seed: 2, SeverProb: 1}))
 	defer c.Close()
-	if _, err := c.Call("echo", []byte("x")); err == nil {
+	if _, err := c.CallContext(context.Background(), "echo", []byte("x")); err == nil {
 		t.Fatal("call over a severed connection succeeded")
 	}
 	if c.Err() == nil {

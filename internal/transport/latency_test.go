@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -22,7 +23,7 @@ func TestLatencyConnDelaysCalls(t *testing.T) {
 	start := time.Now()
 	const calls = 5
 	for i := 0; i < calls; i++ {
-		got, err := CallTyped[int, int](c, "echo", i)
+		got, err := CallTypedContext[int, int](context.Background(), c, "echo", i)
 		if err != nil || got != i {
 			t.Fatalf("call %d: %v, %v", i, got, err)
 		}

@@ -50,7 +50,7 @@ func TestResponsesRoutedByID(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			body, err := c.Call("m", []byte(fmt.Sprintf("call-%d", i)))
+			body, err := c.CallContext(context.Background(), "m", []byte(fmt.Sprintf("call-%d", i)))
 			results[i], errs[i] = string(body), err
 		}(i)
 	}
@@ -85,7 +85,7 @@ func TestOutOfOrderViaSlowHandler(t *testing.T) {
 
 	slowDone := make(chan error, 1)
 	go func() {
-		got, err := CallTyped[int, int](c, "sleep", 80)
+		got, err := CallTypedContext[int, int](context.Background(), c, "sleep", 80)
 		if err == nil && got != 80 {
 			err = fmt.Errorf("slow call got %d", got)
 		}
@@ -93,7 +93,7 @@ func TestOutOfOrderViaSlowHandler(t *testing.T) {
 	}()
 	time.Sleep(10 * time.Millisecond) // let the slow request hit the wire first
 	start := time.Now()
-	got, err := CallTyped[int, int](c, "sleep", 1)
+	got, err := CallTypedContext[int, int](context.Background(), c, "sleep", 1)
 	if err != nil || got != 1 {
 		t.Fatalf("fast call: %d, %v", got, err)
 	}
@@ -135,7 +135,7 @@ func TestConcurrentCallsOneClient(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(g)))
 			for i := 0; i < calls; i++ {
 				msg := fmt.Sprintf("g%d-i%d", g, i)
-				resp, err := CallTyped[echoReq, echoResp](c, "echo", echoReq{Msg: msg})
+				resp, err := CallTypedContext[echoReq, echoResp](context.Background(), c, "echo", echoReq{Msg: msg})
 				if err != nil {
 					errs <- err
 					return
@@ -196,7 +196,7 @@ func TestCallContextDeadline(t *testing.T) {
 	if c.Err() != nil {
 		t.Fatalf("client poisoned by per-call deadline: %v", c.Err())
 	}
-	got, err := CallTyped[int, int](c, "echo", 7)
+	got, err := CallTypedContext[int, int](context.Background(), c, "echo", 7)
 	if err != nil || got != 7 {
 		t.Fatalf("follow-up call after timeout: %d, %v", got, err)
 	}
@@ -214,18 +214,18 @@ func TestStickyFailure(t *testing.T) {
 	ln := NewMemListener()
 	go s.Serve(ln)
 	c := memClient(t, ln)
-	if _, err := CallTyped[int, int](c, "echo", 1); err != nil {
+	if _, err := CallTypedContext[int, int](context.Background(), c, "echo", 1); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
-	if _, err := c.Call("echo", nil); err == nil {
+	if _, err := c.CallContext(context.Background(), "echo", nil); err == nil {
 		t.Fatal("call on dead connection succeeded")
 	}
 	if c.Err() == nil {
 		t.Fatal("no sticky error after connection loss")
 	}
 	start := time.Now()
-	if _, err := c.Call("echo", nil); err == nil {
+	if _, err := c.CallContext(context.Background(), "echo", nil); err == nil {
 		t.Fatal("second call on dead connection succeeded")
 	}
 	if time.Since(start) > 100*time.Millisecond {
@@ -365,12 +365,12 @@ func TestHandlerPanicIsAnswered(t *testing.T) {
 	t.Cleanup(s.Close)
 	c := memClient(t, ln)
 
-	_, err := c.Call("boom", nil)
+	_, err := c.CallContext(context.Background(), "boom", nil)
 	var re *RemoteError
 	if !errors.As(err, &re) || !strings.Contains(re.Msg, "panic") {
 		t.Fatalf("err = %v, want remote panic error", err)
 	}
-	got, err := CallTyped[int, int](c, "echo", 5)
+	got, err := CallTypedContext[int, int](context.Background(), c, "echo", 5)
 	if err != nil || got != 5 {
 		t.Fatalf("connection unusable after handler panic: %d, %v", got, err)
 	}

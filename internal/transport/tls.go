@@ -105,11 +105,6 @@ func (m *TLSMaterials) ListenTLS(addr string) (net.Listener, error) {
 	return tls.Listen("tcp", addr, m.ServerConfig())
 }
 
-// DialTLS connects a client to a TLS server at addr.
-func (m *TLSMaterials) DialTLS(addr, serverName string) (*Client, error) {
-	return m.DialTLSContext(context.Background(), addr, serverName)
-}
-
 // DialTLSContext connects a client to a TLS server at addr, honoring the
 // context's deadline for both the TCP connect and the TLS handshake.
 func (m *TLSMaterials) DialTLSContext(ctx context.Context, addr, serverName string) (*Client, error) {

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -42,7 +43,7 @@ func memClient(t *testing.T, ln *MemListener) *Client {
 func TestRoundTrip(t *testing.T) {
 	_, ln := startEchoServer(t)
 	c := memClient(t, ln)
-	resp, err := CallTyped[echoReq, echoResp](c, "echo", echoReq{Msg: "hello"})
+	resp, err := CallTypedContext[echoReq, echoResp](context.Background(), c, "echo", echoReq{Msg: "hello"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestMultipleSequentialCalls(t *testing.T) {
 	c := memClient(t, ln)
 	for i := 0; i < 20; i++ {
 		msg := fmt.Sprintf("msg-%d", i)
-		resp, err := CallTyped[echoReq, echoResp](c, "echo", echoReq{Msg: msg})
+		resp, err := CallTypedContext[echoReq, echoResp](context.Background(), c, "echo", echoReq{Msg: msg})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func TestMultipleSequentialCalls(t *testing.T) {
 func TestRemoteError(t *testing.T) {
 	_, ln := startEchoServer(t)
 	c := memClient(t, ln)
-	_, err := CallTyped[echoReq, echoResp](c, "fail", echoReq{Msg: "x"})
+	_, err := CallTypedContext[echoReq, echoResp](context.Background(), c, "fail", echoReq{Msg: "x"})
 	var re *RemoteError
 	if !errors.As(err, &re) {
 		t.Fatalf("err = %v, want RemoteError", err)
@@ -82,7 +83,7 @@ func TestRemoteError(t *testing.T) {
 func TestUnknownMethod(t *testing.T) {
 	_, ln := startEchoServer(t)
 	c := memClient(t, ln)
-	_, err := c.Call("nope", nil)
+	_, err := c.CallContext(context.Background(), "nope", nil)
 	var re *RemoteError
 	if !errors.As(err, &re) {
 		t.Fatalf("err = %v, want RemoteError for unknown method", err)
@@ -106,7 +107,7 @@ func TestConcurrentClients(t *testing.T) {
 			defer c.Close()
 			for i := 0; i < 10; i++ {
 				msg := fmt.Sprintf("g%d-i%d", g, i)
-				resp, err := CallTyped[echoReq, echoResp](c, "echo", echoReq{Msg: msg})
+				resp, err := CallTypedContext[echoReq, echoResp](context.Background(), c, "echo", echoReq{Msg: msg})
 				if err != nil {
 					errs <- err
 					return
@@ -128,13 +129,13 @@ func TestConcurrentClients(t *testing.T) {
 func TestServerCloseUnblocksClients(t *testing.T) {
 	s, ln := startEchoServer(t)
 	c := memClient(t, ln)
-	if _, err := CallTyped[echoReq, echoResp](c, "echo", echoReq{Msg: "x"}); err != nil {
+	if _, err := CallTypedContext[echoReq, echoResp](context.Background(), c, "echo", echoReq{Msg: "x"}); err != nil {
 		t.Fatal(err)
 	}
 	s.Close()
 	done := make(chan struct{})
 	go func() {
-		c.Call("echo", nil)
+		c.CallContext(context.Background(), "echo", nil)
 		close(done)
 	}()
 	select {
@@ -175,12 +176,12 @@ func TestTLSEndToEnd(t *testing.T) {
 	go s.Serve(ln)
 	defer s.Close()
 
-	c, err := mat.DialTLS(ln.Addr().String(), "127.0.0.1")
+	c, err := mat.DialTLSContext(context.Background(), ln.Addr().String(), "127.0.0.1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	resp, err := CallTyped[echoReq, echoResp](c, "echo", echoReq{Msg: "secure"})
+	resp, err := CallTypedContext[echoReq, echoResp](context.Background(), c, "echo", echoReq{Msg: "secure"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,9 +208,9 @@ func TestTLSRejectsUntrustedClientPool(t *testing.T) {
 	defer s.Close()
 	// Client trusting a different CA must fail the handshake. The TLS
 	// client error surfaces on first use of the connection.
-	c, err := other.DialTLS(ln.Addr().String(), "127.0.0.1")
+	c, err := other.DialTLSContext(context.Background(), ln.Addr().String(), "127.0.0.1")
 	if err == nil {
-		_, err = c.Call("echo", nil)
+		_, err = c.CallContext(context.Background(), "echo", nil)
 		c.Close()
 	}
 	if err == nil {

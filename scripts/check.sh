@@ -9,6 +9,9 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
+echo "== deta-lint (security & determinism invariants)"
+go run ./cmd/deta-lint ./...
+
 echo "== go build ./..."
 go build ./...
 
