@@ -22,10 +22,12 @@ import (
 
 func main() {
 	var (
-		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
-		enable  = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
-		disable = flag.String("disable", "", "comma-separated analyzers to skip")
-		list    = flag.Bool("list", false, "list analyzers and exit")
+		jsonOut       = flag.Bool("json", false, "emit findings as a JSON array")
+		enable        = flag.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable       = flag.String("disable", "", "comma-separated analyzers to skip")
+		list          = flag.Bool("list", false, "list analyzers and exit")
+		baseline      = flag.String("baseline", "", "suppress findings recorded in this baseline file; fail only on new ones")
+		baselineWrite = flag.String("baseline-write", "", "record current findings to this baseline file and exit 0")
 	)
 	flag.Parse()
 
@@ -58,6 +60,22 @@ func main() {
 	}
 
 	findings := lint.Run(pkgs, analyzers)
+	if *baselineWrite != "" {
+		if err := lint.WriteBaseline(*baselineWrite, wd, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "deta-lint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "deta-lint: wrote %d finding(s) to baseline %s\n", len(findings), *baselineWrite)
+		return
+	}
+	if *baseline != "" {
+		base, err := lint.ReadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "deta-lint:", err)
+			os.Exit(2)
+		}
+		findings = lint.FilterBaseline(findings, base, wd)
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -81,6 +99,12 @@ func main() {
 	}
 }
 
+// analyzerAliases maps retired analyzer names to their successors so
+// existing invocations keep working.
+var analyzerAliases = map[string]string{
+	"lockio": "lockregion", // replaced by the CFG-based analyzer
+}
+
 // selectAnalyzers applies -enable/-disable, validating names so a typo in
 // CI fails loudly instead of silently running nothing.
 func selectAnalyzers(all []lint.Analyzer, enable, disable string) ([]lint.Analyzer, error) {
@@ -97,6 +121,9 @@ func selectAnalyzers(all []lint.Analyzer, enable, disable string) ([]lint.Analyz
 			n = strings.TrimSpace(n)
 			if n == "" {
 				continue
+			}
+			if successor, ok := analyzerAliases[n]; ok {
+				n = successor
 			}
 			if _, ok := byName[n]; !ok {
 				return nil, fmt.Errorf("unknown analyzer %q (try -list)", n)

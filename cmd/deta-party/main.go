@@ -31,6 +31,7 @@ import (
 	"deta/internal/dataset"
 	"deta/internal/fl"
 	"deta/internal/nn"
+	"deta/internal/rng"
 	"deta/internal/tensor"
 	"deta/internal/transport"
 )
@@ -107,6 +108,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("fetching permutation key: %v", err)
 	}
+	// Fingerprint, never the key: parties can compare fp lines across logs
+	// to confirm the broker issued everyone the same key, without any log
+	// ever containing key bytes (enforced by the keytaint analyzer).
+	log.Printf("permutation key received (fp %s)", rng.Fingerprint(permKey))
 	shuffler, err := core.NewShuffler(permKey)
 	if err != nil {
 		log.Fatal(err)

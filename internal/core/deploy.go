@@ -150,6 +150,7 @@ func (s *APService) Serve(srv *transport.Server) {
 		if err != nil {
 			return AttestResp{}, err
 		}
+		//lint:ignore keytaint the launch blob rides the TLS-protected attestation response by design — in real SEV it would be encrypted to the platform's transport keys (see file header)
 		return AttestResp{LaunchBlob: blob}, nil
 	})
 	transport.HandleTyped(srv, MethodAPTokenPubKey, func(r TokenPubKeyReq) (TokenPubKeyResp, error) {

@@ -140,7 +140,7 @@ func (a *AggregatorClient) client(ctx context.Context) (*transport.Client, error
 		}
 		return a.C, nil // sticky error surfaces in the call
 	}
-	//lint:ignore lockio redial deliberately serializes callers: the shared connection is dead, so every concurrent call needs the one fresh conn this dial produces
+	//lint:ignore lockregion redial deliberately serializes callers: the shared connection is dead, so every concurrent call needs the one fresh conn this dial produces
 	conn, err := a.Redial(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: redialing %s: %w", a.ID, err)

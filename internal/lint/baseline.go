@@ -1,0 +1,109 @@
+package lint
+
+// baseline.go lets a new analyzer land warn-only: `deta-lint
+// -baseline-write findings.json` records the current findings, and a
+// later `deta-lint -baseline findings.json` fails only on findings NOT in
+// the baseline. Entries match on (analyzer, repo-relative file, message)
+// as a multiset — line and column are deliberately ignored so unrelated
+// edits above a known finding do not invalidate the baseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BaselineEntry is one recorded finding, line-independent.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // relative to the baseline root
+	Message  string `json:"message"`
+}
+
+// baselineFile is the on-disk format, versioned for forward evolution.
+type baselineFile struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// baselineRel makes a finding's file path relative to root for stable
+// baselines across checkouts; absolute paths outside root stay absolute.
+func baselineRel(root, file string) string {
+	if root == "" {
+		return file
+	}
+	if rel, err := filepath.Rel(root, file); err == nil {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+// WriteBaseline records findings (relative to root) at path, sorted and
+// deterministic.
+func WriteBaseline(path, root string, findings []Finding) error {
+	entries := make([]BaselineEntry, 0, len(findings))
+	for _, f := range findings {
+		entries = append(entries, BaselineEntry{
+			Analyzer: f.Analyzer,
+			File:     baselineRel(root, f.File),
+			Message:  f.Message,
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(baselineFile{Version: 1, Findings: entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads a baseline as a multiset of entries.
+func ReadBaseline(path string) (map[BaselineEntry]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	if bf.Version != 1 {
+		return nil, fmt.Errorf("lint: baseline %s has version %d, want 1", path, bf.Version)
+	}
+	out := make(map[BaselineEntry]int, len(bf.Findings))
+	for _, e := range bf.Findings {
+		out[e]++
+	}
+	return out, nil
+}
+
+// FilterBaseline returns the findings NOT covered by the baseline
+// multiset. Each baseline entry absorbs at most as many findings as it
+// was recorded times, so a finding that multiplies is still surfaced.
+func FilterBaseline(findings []Finding, base map[BaselineEntry]int, root string) []Finding {
+	remaining := make(map[BaselineEntry]int, len(base))
+	for k, v := range base {
+		remaining[k] = v
+	}
+	var kept []Finding
+	for _, f := range findings {
+		e := BaselineEntry{Analyzer: f.Analyzer, File: baselineRel(root, f.File), Message: f.Message}
+		if remaining[e] > 0 {
+			remaining[e]--
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	t.Parallel()
+	root := t.TempDir()
+	findings := []Finding{
+		{Analyzer: "keytaint", File: filepath.Join(root, "a", "x.go"), Line: 10, Col: 3, Message: "key leak"},
+		{Analyzer: "keytaint", File: filepath.Join(root, "a", "x.go"), Line: 40, Col: 7, Message: "key leak"},
+		{Analyzer: "lockregion", File: filepath.Join(root, "b", "y.go"), Line: 5, Col: 1, Message: "I/O under lock"},
+	}
+	path := filepath.Join(root, "baseline.json")
+	if err := WriteBaseline(path, root, findings); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	base, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+
+	// Every recorded finding is absorbed, even at different lines: the
+	// baseline matches on (analyzer, file, message) only.
+	moved := make([]Finding, len(findings))
+	copy(moved, findings)
+	for i := range moved {
+		moved[i].Line += 100
+	}
+	if kept := FilterBaseline(moved, base, root); len(kept) != 0 {
+		t.Fatalf("baselined findings survived the filter: %v", kept)
+	}
+
+	// A new finding passes through.
+	novel := Finding{Analyzer: "ctxflow", File: filepath.Join(root, "c", "z.go"), Line: 1, Message: "missing ctx"}
+	kept := FilterBaseline(append(findings, novel), base, root)
+	if len(kept) != 1 || kept[0].Analyzer != "ctxflow" {
+		t.Fatalf("want only the novel finding, got %v", kept)
+	}
+
+	// Multiset semantics: a duplicated occurrence beyond the recorded
+	// count is surfaced.
+	dup := append(findings, findings[0])
+	if kept := FilterBaseline(dup, base, root); len(kept) != 1 {
+		t.Fatalf("extra occurrence should survive the filter, got %v", kept)
+	}
+}
+
+func TestReadBaselineRejectsBadInput(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	if _, err := ReadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(bad); err == nil {
+		t.Fatal("want error for malformed JSON")
+	}
+	wrongVer := filepath.Join(dir, "v9.json")
+	if err := os.WriteFile(wrongVer, []byte(`{"version":9,"findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(wrongVer); err == nil {
+		t.Fatal("want error for unsupported version")
+	}
+}

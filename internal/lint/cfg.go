@@ -1,0 +1,383 @@
+package lint
+
+// cfg.go builds a per-function control-flow graph over go/ast: the
+// statement-level skeleton the dataflow analyzers (keytaint, lockregion)
+// solve over. Precision goals are modest and explicit — blocks are
+// sequences of statements/conditions in execution order, with edges for
+// if/else, for/range, switch/type-switch/select (including fallthrough),
+// break/continue (labeled or not), goto, return, and panic-style
+// terminators. Deferred calls are collected separately: they run at
+// function exit, so they never end a region mid-function.
+//
+// Function literals are opaque to the enclosing function's graph; each
+// literal gets its own CFG (see funcUnits in summary.go).
+
+import (
+	"go/ast"
+)
+
+// cfgBlock is one straight-line run of nodes. nodes holds statements and,
+// for branch heads, the condition expressions, in execution order.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// cfg is the graph for one function body.
+type cfg struct {
+	entry  *cfgBlock
+	exit   *cfgBlock // virtual: every return/panic/fall-off-end edges here
+	blocks []*cfgBlock
+	defers []*ast.CallExpr // deferred calls, in registration order
+}
+
+type gotoFix struct {
+	from  *cfgBlock
+	label string
+}
+
+type cfgBuilder struct {
+	c *cfg
+
+	breaks    []*cfgBlock          // innermost-last break targets
+	continues []*cfgBlock          // innermost-last continue targets
+	labelBrk  map[string]*cfgBlock // label -> break target
+	labelCont map[string]*cfgBlock // label -> continue target
+	labels    map[string]*cfgBlock // label -> labeled statement's block (goto)
+	gotos     []gotoFix
+	pending   string // label awaiting the loop/switch it names
+}
+
+// buildCFG constructs the graph for a function body.
+func buildCFG(body *ast.BlockStmt) *cfg {
+	b := &cfgBuilder{
+		c:         &cfg{},
+		labelBrk:  make(map[string]*cfgBlock),
+		labelCont: make(map[string]*cfgBlock),
+		labels:    make(map[string]*cfgBlock),
+	}
+	b.c.entry = b.newBlock()
+	b.c.exit = b.newBlock()
+	end := b.stmtList(body.List, b.c.entry)
+	edge(end, b.c.exit) // implicit return at the end of the body
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			edge(g.from, target)
+		} else {
+			edge(g.from, b.c.exit) // unresolvable goto: be conservative
+		}
+	}
+	return b.c
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.c.blocks = append(b.c.blocks, blk)
+	return blk
+}
+
+func edge(from, to *cfgBlock) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt, cur *cfgBlock) *cfgBlock {
+	for _, s := range list {
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+// stmt wires one statement into the graph starting at cur and returns the
+// block where control continues afterwards.
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *cfgBlock) *cfgBlock {
+	// Any statement other than a labeled loop/switch consumes a pending
+	// label as a plain goto target.
+	switch s.(type) {
+	case *ast.LabeledStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+	default:
+		b.pending = ""
+	}
+
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(st.List, cur)
+
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		edge(cur, lb)
+		b.labels[st.Label.Name] = lb
+		b.pending = st.Label.Name
+		out := b.stmt(st.Stmt, lb)
+		b.pending = ""
+		return out
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, st)
+		edge(cur, b.c.exit)
+		return b.newBlock() // dead continuation
+
+	case *ast.BranchStmt:
+		switch st.Tok.String() {
+		case "break":
+			if target := b.branchTarget(st, b.breaks, b.labelBrk); target != nil {
+				edge(cur, target)
+			} else {
+				edge(cur, b.c.exit)
+			}
+			return b.newBlock()
+		case "continue":
+			if target := b.branchTarget(st, b.continues, b.labelCont); target != nil {
+				edge(cur, target)
+			} else {
+				edge(cur, b.c.exit)
+			}
+			return b.newBlock()
+		case "goto":
+			b.gotos = append(b.gotos, gotoFix{from: cur, label: st.Label.Name})
+			return b.newBlock()
+		default: // fallthrough: handled by the switch builder
+			return cur
+		}
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			cur = b.stmt(st.Init, cur)
+		}
+		cur.nodes = append(cur.nodes, st.Cond)
+		then := b.newBlock()
+		edge(cur, then)
+		thenEnd := b.stmt(st.Body, then)
+		join := b.newBlock()
+		edge(thenEnd, join)
+		if st.Else != nil {
+			els := b.newBlock()
+			edge(cur, els)
+			elseEnd := b.stmt(st.Else, els)
+			edge(elseEnd, join)
+		} else {
+			edge(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		label := b.pending
+		b.pending = ""
+		if st.Init != nil {
+			cur = b.stmt(st.Init, cur)
+		}
+		head := b.newBlock()
+		edge(cur, head)
+		if st.Cond != nil {
+			head.nodes = append(head.nodes, st.Cond)
+		}
+		body := b.newBlock()
+		edge(head, body)
+		exitB := b.newBlock()
+		if st.Cond != nil {
+			edge(head, exitB)
+		}
+		post := b.newBlock()
+		b.pushLoop(label, exitB, post)
+		bodyEnd := b.stmt(st.Body, body)
+		b.popLoop(label)
+		edge(bodyEnd, post)
+		if st.Post != nil {
+			post.nodes = append(post.nodes, st.Post)
+		}
+		edge(post, head)
+		return exitB
+
+	case *ast.RangeStmt:
+		label := b.pending
+		b.pending = ""
+		head := b.newBlock()
+		edge(cur, head)
+		head.nodes = append(head.nodes, st) // carries X and Key/Value binding
+		body := b.newBlock()
+		edge(head, body)
+		exitB := b.newBlock()
+		edge(head, exitB)
+		b.pushLoop(label, exitB, head)
+		bodyEnd := b.stmt(st.Body, body)
+		b.popLoop(label)
+		edge(bodyEnd, head)
+		return exitB
+
+	case *ast.SwitchStmt:
+		label := b.pending
+		b.pending = ""
+		if st.Init != nil {
+			cur = b.stmt(st.Init, cur)
+		}
+		if st.Tag != nil {
+			cur.nodes = append(cur.nodes, st.Tag)
+		}
+		return b.caseClauses(label, st.Body.List, cur, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.pending
+		b.pending = ""
+		if st.Init != nil {
+			cur = b.stmt(st.Init, cur)
+		}
+		return b.caseClauses(label, st.Body.List, cur, st.Assign)
+
+	case *ast.SelectStmt:
+		label := b.pending
+		b.pending = ""
+		join := b.newBlock()
+		b.pushSwitch(label, join)
+		for _, cc := range st.Body.List {
+			comm := cc.(*ast.CommClause)
+			blk := b.newBlock()
+			edge(cur, blk)
+			if comm.Comm != nil {
+				blk = b.stmt(comm.Comm, blk)
+			}
+			end := b.stmtList(comm.Body, blk)
+			edge(end, join)
+		}
+		if len(st.Body.List) == 0 {
+			edge(cur, join)
+		}
+		b.popSwitch(label)
+		return join
+
+	case *ast.DeferStmt:
+		cur.nodes = append(cur.nodes, st)
+		b.c.defers = append(b.c.defers, st.Call)
+		return cur
+
+	case *ast.ExprStmt:
+		cur.nodes = append(cur.nodes, st)
+		if isTerminatorCall(st.X) {
+			edge(cur, b.c.exit)
+			return b.newBlock()
+		}
+		return cur
+
+	default:
+		// Assignments, declarations, sends, inc/dec, go, empty: straight-line.
+		cur.nodes = append(cur.nodes, st)
+		return cur
+	}
+}
+
+// caseClauses wires a (type-)switch: every case head is reachable from
+// cur; fallthrough chains a case's end into the next case's body.
+func (b *cfgBuilder) caseClauses(label string, clauses []ast.Stmt, cur *cfgBlock, assign ast.Stmt) *cfgBlock {
+	join := b.newBlock()
+	b.pushSwitch(label, join)
+	bodies := make([]*cfgBlock, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, cs := range clauses {
+		cc := cs.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		head := b.newBlock()
+		edge(cur, head)
+		if assign != nil {
+			head.nodes = append(head.nodes, assign)
+		}
+		for _, e := range cc.List {
+			head.nodes = append(head.nodes, e)
+		}
+		edge(head, bodies[i])
+		end := b.stmtList(cc.Body, bodies[i])
+		if fallsThrough(cc.Body) && i+1 < len(clauses) {
+			edge(end, bodies[i+1])
+		} else {
+			edge(end, join)
+		}
+	}
+	if !hasDefault {
+		edge(cur, join)
+	}
+	b.popSwitch(label)
+	return join
+}
+
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok.String() == "fallthrough"
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *cfgBlock) {
+	b.breaks = append(b.breaks, brk)
+	b.continues = append(b.continues, cont)
+	if label != "" {
+		b.labelBrk[label] = brk
+		b.labelCont[label] = cont
+	}
+}
+
+func (b *cfgBuilder) popLoop(label string) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.continues = b.continues[:len(b.continues)-1]
+	if label != "" {
+		delete(b.labelBrk, label)
+		delete(b.labelCont, label)
+	}
+}
+
+func (b *cfgBuilder) pushSwitch(label string, brk *cfgBlock) {
+	b.breaks = append(b.breaks, brk)
+	if label != "" {
+		b.labelBrk[label] = brk
+	}
+}
+
+func (b *cfgBuilder) popSwitch(label string) {
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	if label != "" {
+		delete(b.labelBrk, label)
+	}
+}
+
+func (b *cfgBuilder) branchTarget(st *ast.BranchStmt, stack []*cfgBlock, byLabel map[string]*cfgBlock) *cfgBlock {
+	if st.Label != nil {
+		return byLabel[st.Label.Name]
+	}
+	if len(stack) == 0 {
+		return nil
+	}
+	return stack[len(stack)-1]
+}
+
+// isTerminatorCall recognizes calls that never return: panic and the
+// conventional process-exit family. Syntactic on purpose — the builder has
+// no type info, and a shadowed `panic` in this tree would itself be a bug.
+func isTerminatorCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			if pkg.Name == "os" && name == "Exit" {
+				return true
+			}
+			if pkg.Name == "log" && (name == "Fatal" || name == "Fatalf" || name == "Fatalln" ||
+				name == "Panic" || name == "Panicf" || name == "Panicln") {
+				return true
+			}
+		}
+	}
+	return false
+}

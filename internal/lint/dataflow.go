@@ -1,0 +1,82 @@
+package lint
+
+// dataflow.go is a small forward dataflow solver over the CFGs built in
+// cfg.go. Facts are per-variable maps (variable -> lattice value); the
+// join at block entry is set union with first-writer-wins on the value,
+// which makes every analysis here a may-analysis: a fact holds at a
+// program point if it holds on SOME path reaching it. Transfer functions
+// may kill facts (sanitizer reassignment, mutex unlock); out-facts remain
+// monotone in in-facts, so the worklist terminates.
+
+import "go/ast"
+
+// fact is a per-variable map from an analysis-chosen key to a label
+// (e.g. variable object -> taint source, or lock key -> acquire site).
+type fact[K comparable, V any] map[K]V
+
+func cloneFact[K comparable, V any](f fact[K, V]) fact[K, V] {
+	out := make(fact[K, V], len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// unionInto merges src into dst (first writer wins) and reports whether
+// dst changed.
+func unionInto[K comparable, V any](dst, src fact[K, V]) bool {
+	changed := false
+	for k, v := range src {
+		if _, ok := dst[k]; !ok {
+			dst[k] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// solveForward runs a worklist iteration from the entry block with
+// entryFact and returns the fact at the START of every reachable block.
+// transfer is applied to each node of a block in order and mutates the
+// fact in place.
+func solveForward[K comparable, V any](
+	c *cfg,
+	entryFact fact[K, V],
+	transfer func(f fact[K, V], n ast.Node),
+) map[*cfgBlock]fact[K, V] {
+	in := map[*cfgBlock]fact[K, V]{c.entry: cloneFact(entryFact)}
+	work := []*cfgBlock{c.entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		f := cloneFact(in[blk])
+		for _, n := range blk.nodes {
+			transfer(f, n)
+		}
+		for _, succ := range blk.succs {
+			existing, seen := in[succ]
+			if !seen {
+				in[succ] = cloneFact(f)
+				work = append(work, succ)
+				continue
+			}
+			if unionInto(existing, f) {
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// reachableBlocks returns the blocks that the solver visited, in
+// allocation order (which tracks source order closely enough for
+// deterministic reporting).
+func reachableBlocks[K comparable, V any](c *cfg, in map[*cfgBlock]fact[K, V]) []*cfgBlock {
+	var out []*cfgBlock
+	for _, blk := range c.blocks {
+		if _, ok := in[blk]; ok {
+			out = append(out, blk)
+		}
+	}
+	return out
+}

@@ -12,7 +12,17 @@
 //   - ctxplumb:       RPC/fleet surfaces take a caller context, first, and
 //     never mint context.Background() internally
 //   - mutexcopy:      no by-value copies of lock-bearing structs
-//   - lockio:         no network/disk I/O while holding a mutex in core
+//   - keytaint:       key material never reaches logs, error strings, the
+//     journal, or wire messages other than the AP PermKey response
+//   - lockregion:     no network/disk I/O on any CFG path holding a mutex
+//     in core (the WAL commit is the sanctioned exception)
+//   - ctxflow:        exported transport/core functions that transitively
+//     perform network I/O take a context.Context
+//
+// keytaint, lockregion, and ctxflow are dataflow analyzers: they run on
+// per-function control-flow graphs (cfg.go, dataflow.go) with
+// module-wide call-graph summaries (summary.go) computed once, up front,
+// through the Preparer hook.
 //
 // A finding on a line can be acknowledged — never silently — with a
 // comment on that line or the line above:
@@ -91,6 +101,13 @@ type Analyzer interface {
 	Run(pkg *Package, r *Reporter)
 }
 
+// Preparer is implemented by analyzers that need module-wide facts: Run
+// calls Prepare once with every loaded package before fanning out, so
+// call-graph summaries can cross package boundaries.
+type Preparer interface {
+	Prepare(pkgs []*Package)
+}
+
 // All returns the full analyzer suite in stable order.
 func All() []Analyzer {
 	return []Analyzer{
@@ -99,16 +116,24 @@ func All() []Analyzer {
 		ErrDiscipline{},
 		CtxPlumb{},
 		MutexCopy{},
-		LockIO{},
+		&KeyTaint{},
+		&LockRegion{},
+		&CtxFlow{},
 	}
 }
 
 // Run executes the analyzers over the packages (concurrently across
-// packages), applies //lint:ignore suppression, and returns the surviving
-// findings sorted by position. Malformed ignore directives (no analyzer
-// name or no reason) are reported as findings of the pseudo-analyzer
-// "lintignore".
+// packages, after a sequential Prepare round for analyzers that need
+// module-wide summaries), applies //lint:ignore suppression, and returns
+// the surviving findings sorted by position. Malformed ignore directives
+// (no analyzer name or no reason) are reported as findings of the
+// pseudo-analyzer "lintignore".
 func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	for _, a := range analyzers {
+		if p, ok := a.(Preparer); ok {
+			p.Prepare(pkgs)
+		}
+	}
 	var (
 		mu  sync.Mutex
 		all []Finding

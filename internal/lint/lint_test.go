@@ -76,7 +76,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"errdiscipline", "deta/internal/journal", ErrDiscipline{}},
 		{"ctxplumb", "deta/internal/core", CtxPlumb{}},
 		{"mutexcopy", "deta/internal/core", MutexCopy{}},
-		{"lockio", "deta/internal/core", LockIO{}},
+		{"keytaint", "deta/internal/core", &KeyTaint{}},
+		{"lockregion", "deta/internal/core", &LockRegion{}},
+		{"ctxflow", "deta/internal/core", &CtxFlow{}},
 		{"suppress", "deta/internal/journal", ErrDiscipline{}},
 	}
 	for _, tc := range cases {

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module so loader failure modes can be
+// exercised without polluting the real tree. Returns the module root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module brokentest\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// A package whose files are all excluded by build constraints must be a
+// loader error, not a panic or a silently-skipped package: a lint run
+// that quietly drops a package would report "clean" for code it never saw.
+func TestLoadBuildTagExcludedPackageErrors(t *testing.T) {
+	t.Parallel()
+	root := writeModule(t, map[string]string{
+		"excluded/excluded.go": "//go:build never\n\npackage excluded\n",
+	})
+	pkgs, err := NewLoader().Load(root, "./excluded")
+	if err == nil {
+		t.Fatalf("want load error for build-tag-excluded package, got %d package(s)", len(pkgs))
+	}
+	if !strings.Contains(err.Error(), "brokentest/excluded") {
+		t.Fatalf("error should name the package, got: %v", err)
+	}
+}
+
+// Type errors in a module package are fatal: the linter must not report
+// findings (or their absence) against a half-checked tree.
+func TestLoadTypeErrorFails(t *testing.T) {
+	t.Parallel()
+	root := writeModule(t, map[string]string{
+		"typeerr/typeerr.go": "package typeerr\n\nvar x int = \"not an int\"\n",
+	})
+	pkgs, err := NewLoader().Load(root, "./typeerr")
+	if err == nil {
+		t.Fatalf("want type-check error, got %d package(s)", len(pkgs))
+	}
+	if !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("want a type-checking error, got: %v", err)
+	}
+}
+
+// Syntax errors that go list's import scan does not catch (the body of a
+// function) must still fail the load at the parse stage.
+func TestLoadParseErrorFails(t *testing.T) {
+	t.Parallel()
+	root := writeModule(t, map[string]string{
+		"parseerr/parseerr.go": "package parseerr\n\nfunc f( {\n",
+	})
+	_, err := NewLoader().Load(root, "./parseerr")
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+	if !strings.Contains(err.Error(), "parseerr") {
+		t.Fatalf("error should name the package, got: %v", err)
+	}
+}
+
+// A healthy sibling package next to a broken one still fails the whole
+// load: partial results are worse than an explicit error.
+func TestLoadBrokenSiblingFailsWholeLoad(t *testing.T) {
+	t.Parallel()
+	root := writeModule(t, map[string]string{
+		"ok/ok.go":           "package ok\n\nfunc OK() int { return 1 }\n",
+		"typeerr/typeerr.go": "package typeerr\n\nvar x int = \"not an int\"\n",
+	})
+	if _, err := NewLoader().Load(root, "./..."); err == nil {
+		t.Fatal("want error when any matched package is broken")
+	}
+}
+
+func TestLoadDirEmptyDirErrors(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	if _, err := NewLoader().LoadDir(dir, "deta/internal/nothing"); err == nil {
+		t.Fatal("want error for a directory with no Go files")
+	}
+}

@@ -1,0 +1,226 @@
+package lint
+
+// LockRegion flags network or disk I/O performed while a mutex is held in
+// internal/core. It replaces the old syntactic lockio analyzer with real
+// CFG reachability: held-lock sets are propagated through the
+// control-flow graph (may-analysis — a lock held on SOME path into a
+// statement counts), so conditional unlocks, early returns, and loops are
+// modeled instead of approximated. Two interprocedural refinements come
+// from the call-graph summaries:
+//
+//   - helper-held locks: a call to a method whose net effect is acquiring
+//     (or releasing) a receiver/parameter mutex updates the held set at
+//     the call site;
+//   - transitive I/O: a call to a module function that performs network
+//     or disk I/O anywhere on its synchronous path is itself a sink.
+//
+// The WAL's commit-before-ack is the sanctioned exception: writes through
+// deta/internal/journal — direct or transitive — never count as I/O here
+// (DESIGN.md §9 requires the journal append to happen under the round
+// lock, before the ack is sent). Everything else that blocks on a peer's
+// disk or network while holding a core mutex convoys every concurrent
+// caller and is reported.
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+type LockRegion struct {
+	once   sync.Once
+	io     map[*types.Func]ioInfo
+	lockFX map[*types.Func][]lockEffect
+}
+
+func (*LockRegion) Name() string { return "lockregion" }
+func (*LockRegion) Doc() string {
+	return "flag network/disk I/O on any CFG path holding a mutex in internal/core (WAL journal exempt)"
+}
+
+// Prepare computes module-wide I/O and lock-effect summaries. Run falls
+// back to single-package summaries if the framework did not call it.
+func (a *LockRegion) Prepare(pkgs []*Package) {
+	a.once.Do(func() {
+		var units []*funcUnit
+		for _, pkg := range pkgs {
+			units = append(units, funcUnits(pkg)...)
+		}
+		a.io = computeIO(units)
+		a.lockFX = computeLockFX(units)
+	})
+}
+
+func (a *LockRegion) Run(pkg *Package, r *Reporter) {
+	a.Prepare([]*Package{pkg})
+	if !pathIn(pkg.Path, "deta/internal/core") {
+		return
+	}
+	for _, u := range funcUnits(pkg) {
+		a.checkUnit(u, r)
+	}
+}
+
+// lockFact is the dataflow fact: printed mutex expression -> position of
+// the acquisition that put it in the held set.
+type lockFact = fact[string, token.Pos]
+
+func (a *LockRegion) checkUnit(u *funcUnit, r *Reporter) {
+	body := u.body()
+	if body == nil {
+		return
+	}
+	c := buildCFG(body)
+	transfer := func(f lockFact, n ast.Node) { a.lockTransfer(u.pkg, f, n) }
+	in := solveForward(c, lockFact{}, transfer)
+	for _, blk := range reachableBlocks(c, in) {
+		f := cloneFact(in[blk])
+		for _, n := range blk.nodes {
+			if len(f) > 0 {
+				a.checkNode(u.pkg, f, n, r)
+			}
+			transfer(f, n)
+		}
+	}
+}
+
+// lockTransfer updates the held-lock set for one CFG node: direct
+// Lock/Unlock statements and calls to helpers with net lock effects.
+func (a *LockRegion) lockTransfer(pkg *Package, f lockFact, n ast.Node) {
+	if st, ok := n.(*ast.ExprStmt); ok {
+		if key, name, ok := mutexOp(pkg, st.X); ok {
+			if name == "Lock" || name == "RLock" {
+				f[key] = st.Pos()
+			} else {
+				delete(f, key)
+			}
+			return
+		}
+	}
+	// Deferred unlocks run at function exit; they never release a lock
+	// mid-function, so a DeferStmt has no transfer effect.
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	inspectSyncCalls(n, func(call *ast.CallExpr) {
+		callee := calleeFunc(pkg, call)
+		if callee == nil {
+			return
+		}
+		for _, e := range callLockEffects(pkg, call, a.lockFX[callee]) {
+			if e.acquire {
+				f[e.key] = e.pos
+			} else {
+				delete(f, e.key)
+			}
+		}
+	})
+}
+
+// checkNode reports I/O calls in n that execute with a non-empty held
+// set. Goroutine spawns and deferred calls are skipped: the former run
+// without the caller's lock, the latter at exit where inline analysis of
+// the held set no longer applies.
+func (a *LockRegion) checkNode(pkg *Package, f lockFact, n ast.Node, r *Reporter) {
+	switch n.(type) {
+	case *ast.GoStmt, *ast.DeferStmt:
+		return
+	}
+	inspectSyncCalls(n, func(call *ast.CallExpr) {
+		desc := a.ioCallDesc(pkg, call)
+		if desc == "" {
+			return
+		}
+		r.Reportf(call.Pos(),
+			"%s while holding %s: I/O under a core mutex convoys every concurrent caller behind one peer's disk/network latency",
+			desc, heldKeys(f))
+	})
+}
+
+// ioCallDesc classifies a call as an I/O sink: a direct primitive or a
+// module function whose summary says it performs I/O on its sync path.
+func (a *LockRegion) ioCallDesc(pkg *Package, call *ast.CallExpr) string {
+	if k, via := ioPrimitive(pkg, call); k != 0 {
+		return via + " " + k.String() + " I/O"
+	}
+	callee := calleeFunc(pkg, call)
+	if callee == nil || callee.Pkg() == nil {
+		return ""
+	}
+	if callee.Pkg().Path() == journalPath {
+		return "" // WAL barrier: commit-before-ack is sanctioned under the lock
+	}
+	if info := a.io[callee]; info.kind != 0 {
+		return "call to " + callee.Name() + " (" + info.kind.String() + " I/O via " + info.via + ")"
+	}
+	return ""
+}
+
+// inspectSyncCalls visits the call expressions under n that execute
+// synchronously at this program point: nested goroutine spawns, deferred
+// calls, and function-literal bodies are skipped.
+func inspectSyncCalls(n ast.Node, visit func(*ast.CallExpr)) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch c := x.(type) {
+		case *ast.GoStmt, *ast.DeferStmt, *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			visit(c)
+		}
+		return true
+	})
+}
+
+// heldKeys renders the held-lock set deterministically for messages.
+func heldKeys(f lockFact) string {
+	keys := make([]string, 0, len(f))
+	for k := range f {
+		keys = append(keys, k)
+	}
+	if len(keys) == 1 {
+		return keys[0]
+	}
+	// Rare multi-lock case: stable order for reproducible output.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return strings.Join(keys, ", ")
+}
+
+// mutexOp matches `<expr>.Lock()/RLock()/Unlock()/RUnlock()` where the
+// receiver is a sync.Mutex or sync.RWMutex, returning the printed
+// receiver expression as the lock key.
+func mutexOp(pkg *Package, e ast.Expr) (key, name string, ok bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok {
+		return "", "", false
+	}
+	t := s.Recv()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if n := named.Obj().Name(); n != "Mutex" && n != "RWMutex" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name, true
+}

@@ -1,0 +1,446 @@
+package lint
+
+// summary.go is the call-graph summary pass: module-wide facts computed
+// once over all loaded packages (via the Preparer hook) so the dataflow
+// analyzers can reason across function boundaries.
+//
+// Three summaries are computed:
+//
+//   - transitive I/O: which module functions perform network or disk I/O
+//     on their synchronous path (goroutine bodies and function literals do
+//     not count — the caller does not wait on them). Calls into
+//     deta/internal/journal are a deliberate barrier: the WAL's
+//     commit-before-ack write is the sanctioned, documented exception to
+//     both the lock-region and context rules (DESIGN.md §9).
+//   - lock effects: the net mutexes a function acquires or releases on
+//     behalf of its caller (receiver- or parameter-rooted), so
+//     helper-held locks are visible at call sites.
+//   - key taint (see keytaint.go): which fields, parameters, and returns
+//     carry key material, by flow-insensitive fixpoint.
+//
+// All summaries key on *types.Func object identity, which is stable
+// across packages because one Loader run shares a single dependency
+// cache: the object a caller's Info.Uses resolves to is the same object
+// the callee's package defined.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// funcUnit is one analyzable function body: a declared function/method
+// (obj non-nil) or a function literal (obj nil).
+type funcUnit struct {
+	pkg  *Package
+	decl *ast.FuncDecl // non-nil iff a declaration
+	lit  *ast.FuncLit  // non-nil iff a literal
+	obj  *types.Func   // nil for literals
+}
+
+func (u *funcUnit) body() *ast.BlockStmt {
+	if u.decl != nil {
+		return u.decl.Body
+	}
+	return u.lit.Body
+}
+
+func (u *funcUnit) ftype() *ast.FuncType {
+	if u.decl != nil {
+		return u.decl.Type
+	}
+	return u.lit.Type
+}
+
+// funcUnits returns every function body in the package: declarations
+// first (source order), then literals. Literals are their own units —
+// they are opaque in the enclosing function's CFG.
+func funcUnits(pkg *Package) []*funcUnit {
+	var units []*funcUnit
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					obj, _ := pkg.Info.Defs[x.Name].(*types.Func)
+					units = append(units, &funcUnit{pkg: pkg, decl: x, obj: obj})
+				}
+			case *ast.FuncLit:
+				units = append(units, &funcUnit{pkg: pkg, lit: x})
+			}
+			return true
+		})
+	}
+	return units
+}
+
+// ---------------------------------------------------------------------------
+// Transitive I/O summaries.
+
+type ioKind uint8
+
+const (
+	ioNet ioKind = 1 << iota
+	ioDisk
+)
+
+func (k ioKind) String() string {
+	switch {
+	case k&ioNet != 0 && k&ioDisk != 0:
+		return "network/disk"
+	case k&ioNet != 0:
+		return "network"
+	case k&ioDisk != 0:
+		return "disk"
+	}
+	return "no"
+}
+
+// ioInfo records what kind of I/O a function performs on its sync path
+// and a human-readable witness for the report message.
+type ioInfo struct {
+	kind ioKind
+	via  string // first primitive or callee that contributed
+}
+
+const journalPath = "deta/internal/journal"
+
+// netVerbsByPkg names the I/O primitives outside the module, keyed by the
+// defining package of the resolved callee object (so interface methods
+// like net.Conn.Read match without receiver gymnastics).
+var netVerbs = map[string]map[string]bool{
+	"net": {"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true, "Accept": true},
+	"crypto/tls": {"Read": true, "Write": true, "Handshake": true, "HandshakeContext": true},
+	"io":    {"ReadFull": true, "ReadAtLeast": true, "Copy": true, "CopyN": true, "CopyBuffer": true},
+	"bufio": {"Flush": true, "Read": true},
+	// Hardcoded so fixture packages (which see transport api-only) and
+	// single-package runs still classify transport calls correctly.
+	"deta/internal/transport": {
+		"Call": true, "CallContext": true, "CallTypedContext": true,
+		"Ping": true, "Serve": true, "Accept": true, "Redial": true,
+	},
+}
+
+var diskFuncs = map[string]bool{
+	"Create": true, "Open": true, "OpenFile": true, "ReadFile": true,
+	"WriteFile": true, "Rename": true, "Remove": true, "RemoveAll": true,
+	"Mkdir": true, "MkdirAll": true, "ReadDir": true, "Truncate": true,
+}
+
+var diskVerbs = map[string]bool{
+	"Read": true, "Write": true, "ReadAt": true, "WriteAt": true,
+	"Sync": true, "Truncate": true, "Seek": true, "ReadFrom": true, "WriteTo": true,
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeFunc resolves a call to the *types.Func it invokes (declared
+// function, method, or interface method), or nil for builtins,
+// conversions, and calls through plain function values.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := pkg.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := pkg.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	case *ast.IndexExpr: // generic instantiation: transport.CallTypedContext[Req, Resp](...)
+		return calleeFunc(pkg, &ast.CallExpr{Fun: fun.X})
+	case *ast.IndexListExpr:
+		return calleeFunc(pkg, &ast.CallExpr{Fun: fun.X})
+	}
+	return nil
+}
+
+// ioPrimitive classifies a call as a direct I/O primitive. Calls into
+// deta/internal/journal never count (WAL barrier, see package comment).
+func ioPrimitive(pkg *Package, call *ast.CallExpr) (ioKind, string) {
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		name := sel.Sel.Name
+		// Calls through func-typed fields or variables named like dialers.
+		obj := pkg.Info.Uses[sel.Sel]
+		if v, ok := obj.(*types.Var); ok {
+			if _, isSig := v.Type().Underlying().(*types.Signature); isSig &&
+				(name == "Redial" || strings.HasPrefix(name, "Dial")) {
+				return ioNet, types.ExprString(sel.X) + "." + name
+			}
+		}
+	}
+	f := calleeFunc(pkg, call)
+	if f == nil || f.Pkg() == nil {
+		// A call through a bare func value named like a dialer.
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+			if v, ok := pkg.Info.Uses[id].(*types.Var); ok {
+				if _, isSig := v.Type().Underlying().(*types.Signature); isSig &&
+					(id.Name == "redial" || strings.HasPrefix(id.Name, "dial") || strings.HasPrefix(id.Name, "Dial")) {
+					return ioNet, id.Name
+				}
+			}
+		}
+		return 0, ""
+	}
+	path, name := f.Pkg().Path(), f.Name()
+	if path == journalPath {
+		return 0, ""
+	}
+	if verbs, ok := netVerbs[path]; ok {
+		if verbs[name] || strings.HasPrefix(name, "Dial") {
+			return ioNet, f.Pkg().Name() + "." + name
+		}
+	}
+	if path == "net" && strings.HasPrefix(name, "Dial") {
+		return ioNet, "net." + name
+	}
+	if path == "os" {
+		if f.Type().(*types.Signature).Recv() == nil {
+			if diskFuncs[name] {
+				return ioDisk, "os." + name
+			}
+		} else if diskVerbs[name] {
+			return ioDisk, "os.File." + name
+		}
+	}
+	return 0, ""
+}
+
+// computeIO builds the transitive I/O summary over all declared module
+// functions: direct primitives first, then a fixpoint over call edges.
+// Goroutine bodies and function literals are excluded (async path); calls
+// into deta/internal/journal are excluded (WAL barrier).
+func computeIO(units []*funcUnit) map[*types.Func]ioInfo {
+	io := make(map[*types.Func]ioInfo)
+	edges := make(map[*types.Func][]*types.Func)
+	for _, u := range units {
+		if u.obj == nil {
+			continue
+		}
+		info := io[u.obj]
+		syncWalk(u.body(), func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if k, via := ioPrimitive(u.pkg, call); k != 0 {
+				if info.kind&k != k {
+					info.kind |= k
+					if info.via == "" {
+						info.via = via
+					}
+				}
+				return
+			}
+			if f := calleeFunc(u.pkg, call); f != nil && f.Pkg() != nil &&
+				strings.HasPrefix(f.Pkg().Path(), "deta/") && f.Pkg().Path() != journalPath {
+				edges[u.obj] = append(edges[u.obj], f)
+			}
+		})
+		io[u.obj] = info
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, u := range units {
+			if u.obj == nil {
+				continue
+			}
+			info := io[u.obj]
+			for _, callee := range edges[u.obj] {
+				ci := io[callee]
+				if add := ci.kind &^ info.kind; add != 0 {
+					info.kind |= add
+					if info.via == "" {
+						info.via = callee.Name()
+					}
+					changed = true
+				}
+			}
+			io[u.obj] = info
+		}
+	}
+	return io
+}
+
+// syncWalk visits the nodes of body that execute on the caller's
+// synchronous path: it skips goroutine bodies and function literals
+// entirely (including the spawned call expression itself).
+func syncWalk(body ast.Node, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Lock-effect summaries.
+
+// lockEffect is one net mutex acquisition (or release) a function
+// performs on behalf of its caller, rooted at the receiver (root == -1)
+// or a parameter (root == index).
+type lockEffect struct {
+	root    int
+	path    string // printed selector path below the root, e.g. ".mu"
+	acquire bool
+}
+
+// computeLockFX summarizes, per declared function, the locks it leaves
+// held (or releases) when it returns. Depth-1 on purpose: effects come
+// from direct sync.Mutex operations in the body, not from further calls.
+// Balanced Lock/Unlock (and Lock with deferred Unlock) cancel out.
+func computeLockFX(units []*funcUnit) map[*types.Func][]lockEffect {
+	out := make(map[*types.Func][]lockEffect)
+	for _, u := range units {
+		if u.obj == nil {
+			continue
+		}
+		roots := unitRoots(u)
+		var fx []lockEffect
+		apply := func(root int, path string, acquire bool) {
+			// A release cancels the latest matching acquire (and vice
+			// versa); otherwise it is a net effect of its own.
+			for i := len(fx) - 1; i >= 0; i-- {
+				if fx[i].root == root && fx[i].path == path && fx[i].acquire != acquire {
+					fx = append(fx[:i], fx[i+1:]...)
+					return
+				}
+			}
+			fx = append(fx, lockEffect{root: root, path: path, acquire: acquire})
+		}
+		syncWalk(u.body(), func(n ast.Node) {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if _, name, ok := mutexOp(u.pkg, st.X); ok {
+					if root, path, ok := splitRoot(u.pkg, st.X, roots); ok {
+						apply(root, path, name == "Lock" || name == "RLock")
+					}
+				}
+			case *ast.DeferStmt:
+				if _, name, ok := mutexOp(u.pkg, st.Call); ok && (name == "Unlock" || name == "RUnlock") {
+					if root, path, ok := splitRoot(u.pkg, st.Call, roots); ok {
+						apply(root, path, false)
+					}
+				}
+			}
+		})
+		if len(fx) > 0 {
+			out[u.obj] = fx
+		}
+	}
+	return out
+}
+
+// unitRoots maps the receiver (-1) and parameter objects (by index) of a
+// function so lock effects can be rooted relative to the caller's
+// arguments.
+func unitRoots(u *funcUnit) map[types.Object]int {
+	roots := make(map[types.Object]int)
+	if u.decl != nil && u.decl.Recv != nil && len(u.decl.Recv.List) > 0 && len(u.decl.Recv.List[0].Names) > 0 {
+		if obj := u.pkg.Info.Defs[u.decl.Recv.List[0].Names[0]]; obj != nil {
+			roots[obj] = -1
+		}
+	}
+	i := 0
+	for _, field := range u.ftype().Params.List {
+		for _, name := range field.Names {
+			if obj := u.pkg.Info.Defs[name]; obj != nil {
+				roots[obj] = i
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	return roots
+}
+
+// splitRoot decomposes the mutex expression of a Lock/Unlock call
+// (`recv.mu.Lock()`) into a root (receiver/parameter index) and the
+// selector path below it ("" if the root IS the mutex).
+func splitRoot(pkg *Package, call ast.Expr, roots map[types.Object]int) (int, string, bool) {
+	ce, ok := unparen(call).(*ast.CallExpr)
+	if !ok {
+		return 0, "", false
+	}
+	sel, ok := ce.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, "", false
+	}
+	base := sel.X
+	for {
+		switch x := unparen(base).(type) {
+		case *ast.SelectorExpr:
+			base = x.X
+		case *ast.StarExpr:
+			base = x.X
+		case *ast.Ident:
+			obj := pkg.Info.Uses[x]
+			root, ok := roots[obj]
+			if !ok {
+				return 0, "", false
+			}
+			full := types.ExprString(sel.X)
+			return root, strings.TrimPrefix(full, x.Name), true
+		default:
+			return 0, "", false
+		}
+	}
+}
+
+// callLockEffects maps a callee's lock effects through a call site,
+// returning (lock key, acquire, position) triples in the caller's frame.
+func callLockEffects(pkg *Package, call *ast.CallExpr, fx []lockEffect) []appliedLockFX {
+	var recvStr string
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		recvStr = types.ExprString(sel.X)
+	}
+	var out []appliedLockFX
+	for _, e := range fx {
+		var root string
+		if e.root == -1 {
+			if recvStr == "" {
+				continue // receiver effect on a non-method call form
+			}
+			root = recvStr
+		} else {
+			if e.root >= len(call.Args) {
+				continue
+			}
+			root = types.ExprString(call.Args[e.root])
+		}
+		out = append(out, appliedLockFX{key: root + e.path, acquire: e.acquire, pos: call.Pos()})
+	}
+	return out
+}
+
+type appliedLockFX struct {
+	key     string
+	acquire bool
+	pos     token.Pos
+}
+
+// fnDisplayName names a function unit for report messages.
+func fnDisplayName(u *funcUnit) string {
+	if u.decl != nil {
+		if u.decl.Recv != nil && len(u.decl.Recv.List) > 0 {
+			return fmt.Sprintf("(%s).%s", types.ExprString(u.decl.Recv.List[0].Type), u.decl.Name.Name)
+		}
+		return u.decl.Name.Name
+	}
+	return "func literal"
+}

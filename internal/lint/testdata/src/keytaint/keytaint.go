@@ -1,0 +1,146 @@
+// Package core poses as deta/internal/core for the keytaint fixture. Key
+// material (here: rng.DeriveSeed output and values derived from it) must
+// never reach formatting, logging, error strings, the journal, or any
+// wire message except the AP PermKey exchange. The fixture exercises
+// intraprocedural flow with strong updates, interprocedural parameter /
+// return / field propagation, sanitizers, and the wire-type exemption.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"deta/internal/journal"
+	"deta/internal/rng"
+)
+
+// UploadReq is a module wire message: carrying key bytes in it is a leak.
+type UploadReq struct {
+	Party   string
+	Payload []byte
+}
+
+// PermKeyResp is the one sanctioned key-carrying message.
+type PermKeyResp struct {
+	Key []byte
+}
+
+// badDirectLog formats a freshly derived subkey.
+func badDirectLog(master []byte, round []byte) {
+	seed := rng.DeriveSeed(master, round)
+	log.Printf("derived seed %x", seed) // want keytaint
+}
+
+// badErrorString wraps key bytes into an error a caller will log.
+func badErrorString(master []byte) error {
+	seed := rng.DeriveSeed(master)
+	return fmt.Errorf("bad seed %x", seed) // want keytaint
+}
+
+// badErrorsNew is the errors.New flavor of the same leak.
+func badErrorsNew(master []byte) error {
+	seed := rng.DeriveSeed(master)
+	return errors.New(string(seed)) // want keytaint
+}
+
+// goodFingerprint logs the sanctioned digest: rng.Fingerprint is a
+// sanitizer, so the result is clean.
+func goodFingerprint(master []byte) {
+	seed := rng.DeriveSeed(master)
+	log.Printf("derived seed fp=%s", rng.Fingerprint(seed))
+}
+
+// goodLen: the length of a key is not the key.
+func goodLen(master []byte) error {
+	seed := rng.DeriveSeed(master)
+	if len(seed) != 32 {
+		return fmt.Errorf("seed has %d bytes, want 32", len(seed))
+	}
+	return nil
+}
+
+// goodStrongUpdate overwrites the tainted variable with a clean digest;
+// the reassignment kills the taint on every path that reaches the log.
+func goodStrongUpdate(master []byte) {
+	s := string(rng.DeriveSeed(master))
+	s = rng.Fingerprint([]byte("clean"))
+	log.Printf("state %s", s)
+}
+
+// badBranchJoin taints s on only one branch; the may-analysis keeps the
+// fact alive through the join.
+func badBranchJoin(cond bool, master []byte) {
+	s := "clean"
+	if cond {
+		s = string(rng.DeriveSeed(master))
+	}
+	log.Printf("state %s", s) // want keytaint
+}
+
+// logBytes is an unexported helper: taint enters through its parameter
+// from badViaHelper below, so the sink inside it fires.
+func logBytes(b []byte) {
+	fmt.Printf("bytes: %x\n", b) // want keytaint
+}
+
+// badViaHelper leaks through a helper call (parameter summary).
+func badViaHelper(master []byte) {
+	logBytes(rng.DeriveSeed(master))
+}
+
+// derive returns key material; callers inherit the taint (return summary).
+func derive(master []byte) []byte {
+	return rng.DeriveSeed(master, []byte("round"))
+}
+
+// badViaReturn leaks a key obtained through a module function's return.
+func badViaReturn(master []byte) {
+	k := derive(master)
+	log.Printf("key %x", k) // want keytaint
+}
+
+// holder stores key material in a field; the store taints the field for
+// every later read, module-wide.
+type holder struct {
+	k []byte
+}
+
+func (h *holder) set(master []byte) {
+	h.k = rng.DeriveSeed(master)
+}
+
+// badViaField reads the tainted field.
+func (h *holder) badViaField() error {
+	return fmt.Errorf("holder state %x", h.k) // want keytaint
+}
+
+// badJournal writes key bytes into the plaintext WAL.
+func badJournal(j *journal.Journal, master []byte) error {
+	seed := rng.DeriveSeed(master)
+	return j.Append(1, seed) // want keytaint
+}
+
+// badWireComposite builds a non-exempt wire message around key bytes.
+func badWireComposite(master []byte) UploadReq {
+	seed := rng.DeriveSeed(master)
+	return UploadReq{Party: "p1", Payload: seed} // want keytaint
+}
+
+// badWireFieldStore smuggles the key in after construction.
+func badWireFieldStore(master []byte) UploadReq {
+	var req UploadReq
+	req.Payload = rng.DeriveSeed(master) // want keytaint
+	return req
+}
+
+// goodPermKeyResp is the sanctioned exchange: the AP's PermKey response
+// exists to carry the key.
+func goodPermKeyResp(master []byte) PermKeyResp {
+	return PermKeyResp{Key: rng.DeriveSeed(master)}
+}
+
+// goodCleanWire: no key material anywhere near the message.
+func goodCleanWire(update []byte) UploadReq {
+	return UploadReq{Party: "p2", Payload: update}
+}

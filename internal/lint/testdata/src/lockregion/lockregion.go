@@ -1,0 +1,159 @@
+// Package core poses as deta/internal/core for the lockregion fixture.
+// The CFG analysis must catch what the old syntactic lockio could not:
+// may-held locks after a conditional unlock, helper-held locks, and
+// transitive I/O through module calls — while staying quiet about I/O
+// after a real release, goroutine spawns, and the sanctioned WAL path.
+package core
+
+import (
+	"net"
+	"os"
+	"sync"
+
+	"deta/internal/journal"
+)
+
+type peer struct {
+	mu   sync.Mutex
+	conn net.Conn
+	buf  []byte
+	path string
+	j    *journal.Journal
+}
+
+// badInline reads from the network inside the lock's inline region.
+func (p *peer) badInline(b []byte) (int, error) {
+	p.mu.Lock()
+	n, err := p.conn.Read(b) // want lockregion
+	p.mu.Unlock()
+	return n, err
+}
+
+// badDeferred holds the lock (deferred unlock) across a network write.
+func (p *peer) badDeferred(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn.Write(b) // want lockregion
+}
+
+// goodAfterUnlock copies state under the lock and does I/O outside it —
+// the pattern the analyzer exists to push code toward.
+func (p *peer) goodAfterUnlock() (int, error) {
+	p.mu.Lock()
+	out := append([]byte(nil), p.buf...)
+	p.mu.Unlock()
+	return p.conn.Write(out)
+}
+
+// badDial blocks every other caller behind one peer's connect latency.
+func (p *peer) badDial(addr string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	conn, err := net.Dial("tcp", addr) // want lockregion
+	if err != nil {
+		return err
+	}
+	p.conn = conn
+	return nil
+}
+
+// badBranchMayHold unlocks on only one branch: the write still executes
+// with the lock held whenever cond is false. The syntactic analyzer
+// closed the region at the first inline Unlock and missed this; the CFG
+// join keeps the may-held fact alive.
+func (p *peer) badBranchMayHold(cond bool, b []byte) (int, error) {
+	p.mu.Lock()
+	if cond {
+		p.mu.Unlock()
+	}
+	n, err := p.conn.Write(b) // want lockregion
+	if !cond {
+		p.mu.Unlock()
+	}
+	return n, err
+}
+
+// goodLoopScoped locks and unlocks inside each iteration; the write after
+// the loop runs with the lock released on every path.
+func (p *peer) goodLoopScoped(chunks [][]byte) (int, error) {
+	for _, c := range chunks {
+		p.mu.Lock()
+		p.buf = append(p.buf, c...)
+		p.mu.Unlock()
+	}
+	return p.conn.Write(p.buf)
+}
+
+// hold acquires the peer lock on behalf of its caller.
+func (p *peer) hold() { p.mu.Lock() }
+
+// release drops it.
+func (p *peer) release() { p.mu.Unlock() }
+
+// badHelperHeld does I/O inside a lock acquired by a helper — invisible
+// to syntactic matching, visible through the lock-effect summary.
+func (p *peer) badHelperHeld(b []byte) (int, error) {
+	p.hold()
+	n, err := p.conn.Write(b) // want lockregion
+	p.release()
+	return n, err
+}
+
+// goodHelperReleased mutates under the helper-held lock and only touches
+// the network after the helper releases it.
+func (p *peer) goodHelperReleased(b []byte) (int, error) {
+	p.hold()
+	p.buf = append(p.buf[:0], b...)
+	p.release()
+	return p.conn.Write(b)
+}
+
+// flush performs network I/O on its synchronous path.
+func (p *peer) flush() (int, error) {
+	return p.conn.Write(p.buf)
+}
+
+// badTransitive calls a module function that does I/O while holding the
+// lock; the I/O summary makes the call site itself the sink.
+func (p *peer) badTransitive() (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flush() // want lockregion
+}
+
+// badDiskUnderLock couples every caller to local disk latency.
+func (p *peer) badDiskUnderLock(data []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return os.WriteFile(p.path, data, 0o644) // want lockregion
+}
+
+// goodJournalUnderLock is the sanctioned exception: the WAL's
+// commit-before-ack MUST append under the round lock (DESIGN.md §9), so
+// journal writes never count as I/O here.
+func (p *peer) goodJournalUnderLock(rec []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.j.Append(1, rec)
+}
+
+// goodGoroutine spawns under the lock; the goroutine runs without it.
+func (p *peer) goodGoroutine(b []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		_, _ = p.conn.Write(b)
+	}()
+}
+
+// goodEarlyReturn releases on both the early and the fallthrough path
+// before any I/O happens.
+func (p *peer) goodEarlyReturn(cond bool, b []byte) (int, error) {
+	p.mu.Lock()
+	if cond {
+		p.mu.Unlock()
+		return 0, nil
+	}
+	p.mu.Unlock()
+	return p.conn.Write(b)
+}

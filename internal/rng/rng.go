@@ -17,6 +17,7 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"math"
 )
 
@@ -57,6 +58,20 @@ func DeriveSeed(key []byte, contexts ...[]byte) []byte {
 		mac.Write(c)
 	}
 	return mac.Sum(nil)
+}
+
+// Fingerprint returns a short, non-invertible identifier for key
+// material: the first 8 bytes of SHA-256("deta-fingerprint/v1" || key),
+// hex-encoded. It is the ONLY form in which key bytes may appear in logs,
+// error strings, or diagnostics (enforced by the keytaint analyzer):
+// recovering the key means inverting SHA-256, and 64 bits is too short to
+// substitute for the key anywhere it is actually used. Parties can still
+// compare fingerprints to confirm they were issued the same key.
+func Fingerprint(key []byte) string {
+	h := sha256.New()
+	h.Write([]byte("deta-fingerprint/v1"))
+	h.Write(key)
+	return hex.EncodeToString(h.Sum(nil)[:8])
 }
 
 func (s *Stream) refill() {

@@ -2,7 +2,11 @@ package rng
 
 import (
 	"bytes"
+	"encoding/base64"
+	"encoding/hex"
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -224,5 +228,50 @@ func TestBytesChunking(t *testing.T) {
 		if b[0] != buf[i] {
 			t.Fatalf("byte %d differs between chunked and bulk reads", i)
 		}
+	}
+}
+
+func TestFingerprintDeterministicAndShort(t *testing.T) {
+	key := []byte("super-secret-permutation-key-material")
+	fp := Fingerprint(key)
+	if fp != Fingerprint(key) {
+		t.Fatal("Fingerprint is not deterministic")
+	}
+	if len(fp) != 16 {
+		t.Fatalf("Fingerprint is %d hex chars, want 16 (8 bytes)", len(fp))
+	}
+	for _, c := range fp {
+		if !strings.ContainsRune("0123456789abcdef", c) {
+			t.Fatalf("Fingerprint %q contains non-hex character %q", fp, c)
+		}
+	}
+	if Fingerprint([]byte("other-key")) == fp {
+		t.Fatal("distinct keys produced the same fingerprint")
+	}
+}
+
+// TestFingerprintNeverContainsKeyBytes is the redaction regression test:
+// formatted output built from a fingerprint must not contain the raw key
+// in any of the encodings a log line could plausibly leak it in.
+func TestFingerprintNeverContainsKeyBytes(t *testing.T) {
+	key := make([]byte, 32)
+	s := NewStream([]byte("fingerprint-leak-test"), "keygen")
+	s.Bytes(key)
+
+	logLine := fmt.Sprintf("party p1: permutation key received (fp %s)", Fingerprint(key))
+	leaks := map[string]string{
+		"raw":    string(key),
+		"hex":    hex.EncodeToString(key),
+		"base64": base64.StdEncoding.EncodeToString(key),
+	}
+	for enc, leaked := range leaks {
+		if strings.Contains(logLine, leaked) {
+			t.Errorf("formatted output contains the %s-encoded key", enc)
+		}
+	}
+	// Even a prefix of the key's hex must not show up: the fingerprint is
+	// a digest, not a truncation.
+	if strings.Contains(logLine, hex.EncodeToString(key)[:8]) {
+		t.Error("formatted output contains a hex prefix of the key")
 	}
 }
