@@ -1,7 +1,7 @@
 # Standard entry points; scripts/check.sh is the single source of truth
 # for the full verification gate.
 
-.PHONY: build test race chaos bench lint check
+.PHONY: build test race chaos bench lint check perf perf-baseline
 
 build:
 	go build ./...
@@ -27,6 +27,14 @@ chaos:
 bench:
 	go test -bench 'BenchmarkAppend' -run xxx ./internal/journal
 	go test -bench 'BenchmarkUpload' -run xxx ./internal/core
+
+# Tracked perf suite vs checked-in BENCH_*.json baselines (internal/perf);
+# exits 4 on regression. `make perf-baseline` refreshes the baselines.
+perf:
+	go run ./cmd/deta-bench -perf -perf-baseline .
+
+perf-baseline:
+	go run ./cmd/deta-bench -perf -perf-baseline-write -perf-baseline .
 
 check:
 	sh scripts/check.sh

@@ -1,0 +1,12 @@
+package agg_test
+
+import (
+	"testing"
+
+	"deta/internal/perf"
+)
+
+// BenchmarkPerfSuite runs the agg area of the tracked perf suite
+// (internal/perf) under `go test -bench`, emitting the same stable bench
+// names the BENCH_agg.json baseline records.
+func BenchmarkPerfSuite(b *testing.B) { perf.RunAreaBenchmarks(b, "agg") }

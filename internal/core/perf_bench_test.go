@@ -1,0 +1,12 @@
+package core_test
+
+import (
+	"testing"
+
+	"deta/internal/perf"
+)
+
+// BenchmarkPerfSuite runs the core area of the tracked perf suite
+// (internal/perf) under `go test -bench`, emitting the same stable bench
+// names the BENCH_core.json baseline records.
+func BenchmarkPerfSuite(b *testing.B) { perf.RunAreaBenchmarks(b, "core") }

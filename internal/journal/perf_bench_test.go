@@ -1,0 +1,12 @@
+package journal_test
+
+import (
+	"testing"
+
+	"deta/internal/perf"
+)
+
+// BenchmarkPerfSuite runs the journal area of the tracked perf suite
+// (internal/perf) under `go test -bench`, emitting the same stable bench
+// names the BENCH_journal.json baseline records.
+func BenchmarkPerfSuite(b *testing.B) { perf.RunAreaBenchmarks(b, "journal") }

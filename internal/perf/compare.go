@@ -1,0 +1,148 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// compare.go is the regression gate: it pairs a fresh suite run against a
+// checked-in baseline and applies noise-tolerant rules — a relative ns/op
+// threshold backed by an absolute floor (so a 5ns wiggle on a 15ns bench
+// is not a "regression"), an absolute allocs/op allowance, and per-bench
+// exemptions carried in the baseline (Result.Ignore) or supplied by the
+// caller.
+
+// Thresholds configures the gate. The zero value is unusable; start from
+// DefaultThresholds.
+type Thresholds struct {
+	// MaxNsPct is the allowed ns/op growth in percent (e.g. 30 = +30%).
+	MaxNsPct float64
+	// MinNsDelta is the absolute ns/op growth a regression must also
+	// exceed, filtering relative noise on nanosecond-scale benches.
+	MinNsDelta float64
+	// MaxAllocsDelta is the allowed absolute allocs/op growth.
+	MaxAllocsDelta int64
+	// Ignore exempts bench names supplied at compare time, on top of the
+	// Ignore flags recorded in the baseline itself.
+	Ignore map[string]bool
+}
+
+// DefaultThresholds returns the gate used by deta-bench and CI: +30%
+// ns/op (and at least +50ns), +2 allocs/op.
+func DefaultThresholds() Thresholds {
+	return Thresholds{MaxNsPct: 30, MinNsDelta: 50, MaxAllocsDelta: 2}
+}
+
+// Delta is one bench's baseline-vs-fresh comparison.
+type Delta struct {
+	Bench string
+	Base  Result
+	Fresh Result
+	// NsPct is the ns/op change in percent (positive = slower).
+	NsPct       float64
+	AllocsDelta int64
+	// Missing: in the baseline but absent from the fresh run (a renamed
+	// or deleted bench must be re-baselined deliberately). New: in the
+	// fresh run only (lands warn-free until the next baseline write).
+	Missing bool
+	New     bool
+	// Ignored marks exempt benches: tracked and printed, never gating.
+	Ignored bool
+	// Regressed is the gate verdict; Reason says which rule fired.
+	Regressed bool
+	Reason    string
+}
+
+// Compare pairs baseline and fresh results by bench name and applies th.
+// Deltas come back sorted by bench name.
+func Compare(base, fresh []Result, th Thresholds) []Delta {
+	freshBy := make(map[string]Result, len(fresh))
+	for _, r := range fresh {
+		freshBy[r.Bench] = r
+	}
+	seen := make(map[string]bool, len(base))
+	var out []Delta
+	for _, b := range base {
+		seen[b.Bench] = true
+		d := Delta{Bench: b.Bench, Base: b}
+		f, ok := freshBy[b.Bench]
+		if !ok {
+			d.Missing = true
+			d.Regressed = true
+			d.Reason = "bench missing from fresh run (rename or deletion needs -perf-baseline-write)"
+			if b.Ignore || th.Ignore[b.Bench] {
+				d.Ignored, d.Regressed = true, false
+			}
+			out = append(out, d)
+			continue
+		}
+		d.Fresh = f
+		if b.NsPerOp > 0 {
+			d.NsPct = (f.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		}
+		d.AllocsDelta = f.AllocsPerOp - b.AllocsPerOp
+		switch {
+		case b.Ignore || f.Ignore || th.Ignore[b.Bench]:
+			d.Ignored = true
+		case d.NsPct > th.MaxNsPct && f.NsPerOp-b.NsPerOp >= th.MinNsDelta:
+			d.Regressed = true
+			d.Reason = fmt.Sprintf("ns/op +%.1f%% exceeds +%.0f%%", d.NsPct, th.MaxNsPct)
+		case d.AllocsDelta > th.MaxAllocsDelta:
+			d.Regressed = true
+			d.Reason = fmt.Sprintf("allocs/op +%d exceeds +%d", d.AllocsDelta, th.MaxAllocsDelta)
+		}
+		out = append(out, d)
+	}
+	for _, f := range fresh {
+		if !seen[f.Bench] {
+			out = append(out, Delta{Bench: f.Bench, Fresh: f, New: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bench < out[j].Bench })
+	return out
+}
+
+// Regressions counts gating deltas.
+func Regressions(deltas []Delta) int {
+	n := 0
+	for _, d := range deltas {
+		if d.Regressed {
+			n++
+		}
+	}
+	return n
+}
+
+// RenderDeltas prints a benchstat-style table for one area.
+func RenderDeltas(w io.Writer, area string, deltas []Delta) {
+	fmt.Fprintf(w, "perf: area %s (%d bench(es))\n", area, len(deltas))
+	fmt.Fprintf(w, "  %-44s %14s %14s %9s %8s  %s\n",
+		"bench", "old ns/op", "new ns/op", "delta", "allocs", "verdict")
+	for _, d := range deltas {
+		verdict := "ok"
+		switch {
+		case d.Regressed:
+			verdict = "REGRESSED: " + d.Reason
+		case d.Ignored && d.Missing:
+			verdict = "ignored (missing)"
+		case d.Ignored:
+			verdict = "ignored"
+		case d.New:
+			verdict = "new (unbaselined)"
+		}
+		oldNs, newNs, delta, allocs := "-", "-", "-", "-"
+		if !d.New {
+			oldNs = fmt.Sprintf("%.0f", d.Base.NsPerOp)
+		}
+		if !d.Missing {
+			newNs = fmt.Sprintf("%.0f", d.Fresh.NsPerOp)
+		}
+		if !d.New && !d.Missing {
+			delta = fmt.Sprintf("%+.1f%%", d.NsPct)
+			allocs = fmt.Sprintf("%+d", d.AllocsDelta)
+		}
+		fmt.Fprintf(w, "  %-44s %14s %14s %9s %8s  %s\n",
+			d.Bench, oldNs, newNs, delta, allocs, verdict)
+	}
+}

@@ -1,0 +1,163 @@
+package perf
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture reads the golden baseline the comparator self-tests run
+// against.
+func loadFixture(t *testing.T) *File {
+	t.Helper()
+	f, err := ReadFile(filepath.Join("testdata", "BENCH_fixture.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// scaleNs returns a copy of results with every ns/op multiplied by factor
+// — the synthetic slowdown injector.
+func scaleNs(results []Result, factor float64) []Result {
+	out := append([]Result(nil), results...)
+	for i := range out {
+		out[i].NsPerOp *= factor
+	}
+	return out
+}
+
+func findDelta(t *testing.T, deltas []Delta, bench string) Delta {
+	t.Helper()
+	for _, d := range deltas {
+		if d.Bench == bench {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %s in %+v", bench, deltas)
+	return Delta{}
+}
+
+// TestCompareUnchangedPasses is the pass direction: an identical rerun
+// must not regress.
+func TestCompareUnchangedPasses(t *testing.T) {
+	base := loadFixture(t)
+	deltas := Compare(base.Results, base.Results, DefaultThresholds())
+	if n := Regressions(deltas); n != 0 {
+		t.Fatalf("identical rerun produced %d regressions: %+v", n, deltas)
+	}
+}
+
+// TestCompareWithinThresholdPasses: +10% everywhere is inside the +30%
+// noise band.
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	base := loadFixture(t)
+	fresh := scaleNs(base.Results, 1.10)
+	deltas := Compare(base.Results, fresh, DefaultThresholds())
+	if n := Regressions(deltas); n != 0 {
+		t.Fatalf("+10%% run produced %d regressions: %+v", n, deltas)
+	}
+}
+
+// TestCompareSlowdownFails is the fail direction the acceptance criteria
+// name: a 50% ns/op slowdown must trip the gate on every non-exempt
+// bench above the absolute noise floor.
+func TestCompareSlowdownFails(t *testing.T) {
+	base := loadFixture(t)
+	fresh := scaleNs(base.Results, 1.5)
+	deltas := Compare(base.Results, fresh, DefaultThresholds())
+	// fix/Fast and fix/Slow regress; fix/Fsync is ignored; fix/Tiny's
+	// +30ns is under the 50ns absolute floor.
+	if n := Regressions(deltas); n != 2 {
+		t.Fatalf("50%% slowdown produced %d regressions, want 2: %+v", n, deltas)
+	}
+	slow := findDelta(t, deltas, "fix/Slow")
+	if !slow.Regressed || !strings.Contains(slow.Reason, "ns/op") {
+		t.Errorf("fix/Slow = %+v", slow)
+	}
+	if fsync := findDelta(t, deltas, "fix/Fsync"); fsync.Regressed || !fsync.Ignored {
+		t.Errorf("exempt bench gated: %+v", fsync)
+	}
+	if tiny := findDelta(t, deltas, "fix/Tiny"); tiny.Regressed {
+		t.Errorf("sub-floor bench gated: %+v", tiny)
+	}
+}
+
+func TestCompareAllocsRegression(t *testing.T) {
+	base := loadFixture(t)
+	fresh := append([]Result(nil), base.Results...)
+	for i := range fresh {
+		if fresh[i].Bench == "fix/Fast" {
+			fresh[i].AllocsPerOp += 3 // over the +2 allowance
+		}
+	}
+	deltas := Compare(base.Results, fresh, DefaultThresholds())
+	fast := findDelta(t, deltas, "fix/Fast")
+	if !fast.Regressed || !strings.Contains(fast.Reason, "allocs/op") {
+		t.Errorf("allocs regression missed: %+v", fast)
+	}
+	// +2 exactly stays within the allowance.
+	for i := range fresh {
+		if fresh[i].Bench == "fix/Fast" {
+			fresh[i].AllocsPerOp--
+		}
+	}
+	deltas = Compare(base.Results, fresh, DefaultThresholds())
+	if n := Regressions(deltas); n != 0 {
+		t.Errorf("+2 allocs gated: %+v", deltas)
+	}
+}
+
+func TestCompareMissingAndNew(t *testing.T) {
+	base := loadFixture(t)
+	var fresh []Result
+	for _, r := range base.Results {
+		if r.Bench != "fix/Slow" {
+			fresh = append(fresh, r)
+		}
+	}
+	fresh = append(fresh, Result{Bench: "fix/Brand", NsPerOp: 5, Iterations: 1})
+	deltas := Compare(base.Results, fresh, DefaultThresholds())
+	missing := findDelta(t, deltas, "fix/Slow")
+	if !missing.Missing || !missing.Regressed {
+		t.Errorf("deleted bench not gated: %+v", missing)
+	}
+	brand := findDelta(t, deltas, "fix/Brand")
+	if !brand.New || brand.Regressed {
+		t.Errorf("new bench gated: %+v", brand)
+	}
+}
+
+// TestCompareCallerExemption: a th.Ignore entry works like a baseline
+// Ignore flag, including for missing benches.
+func TestCompareCallerExemption(t *testing.T) {
+	base := loadFixture(t)
+	fresh := scaleNs(base.Results, 2)
+	th := DefaultThresholds()
+	th.Ignore = map[string]bool{"fix/Slow": true, "fix/Fast": true, "fix/Tiny": true}
+	deltas := Compare(base.Results, fresh, th)
+	if n := Regressions(deltas); n != 0 {
+		t.Fatalf("exempted benches still gated: %+v", deltas)
+	}
+	// Missing + exempt: reported, not gating.
+	deltas = Compare(base.Results, nil, Thresholds{MaxNsPct: 30, MinNsDelta: 50,
+		Ignore: map[string]bool{"fix/Fast": true, "fix/Slow": true, "fix/Fsync": true, "fix/Tiny": true}})
+	if n := Regressions(deltas); n != 0 {
+		t.Fatalf("exempt missing benches gated: %+v", deltas)
+	}
+}
+
+func TestRenderDeltas(t *testing.T) {
+	base := loadFixture(t)
+	fresh := scaleNs(base.Results, 1.5)
+	deltas := Compare(base.Results, fresh, DefaultThresholds())
+	var buf bytes.Buffer
+	RenderDeltas(&buf, "fixture", deltas)
+	out := buf.String()
+	for _, want := range []string{"area fixture", "fix/Slow", "REGRESSED", "ignored", "+50.0%", "old ns/op"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("delta table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package perf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// parse.go ingests standard `go test -bench -benchmem` output so CI can
+// feed an ordinary benchmark run into the same comparator the programmatic
+// suite uses. Bench names are canonicalized (Benchmark prefix, GOMAXPROCS
+// suffix, and the per-package PerfSuite wrapper level stripped) so they
+// match the names recorded in BENCH_<area>.json.
+
+// CanonicalName maps a raw `go test -bench` benchmark name to the stable
+// name the baselines use: "BenchmarkPerfSuite/agg/Krum/p8,n4096-8" →
+// "agg/Krum/p8,n4096".
+func CanonicalName(raw string) string {
+	name := strings.TrimPrefix(raw, "Benchmark")
+	// The trailing -N is the GOMAXPROCS the run used, not part of the
+	// bench identity.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	name = strings.TrimPrefix(name, "PerfSuite/")
+	return name
+}
+
+// Parse reads `go test -bench -benchmem` output into a File. The
+// goos/goarch header lines populate OS/Arch when present; Area, Go, and
+// Scale are left for the caller. Non-benchmark lines (PASS, ok, cpu:,
+// pkg:) are skipped.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{Version: Version}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			f.OS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			f.Arch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		res, err := parseBenchLine(line)
+		if err != nil {
+			return nil, err
+		}
+		f.Results = append(f.Results, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// parseBenchLine decodes one "BenchmarkName   N   v unit   v unit ..."
+// line.
+func parseBenchLine(line string) (Result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, fmt.Errorf("perf: malformed benchmark line %q", line)
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, fmt.Errorf("perf: bad iteration count in %q: %w", line, err)
+	}
+	res := Result{Bench: CanonicalName(fields[0]), Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			if res.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+				return Result{}, fmt.Errorf("perf: bad ns/op in %q: %w", line, err)
+			}
+		case "B/op":
+			if res.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, fmt.Errorf("perf: bad B/op in %q: %w", line, err)
+			}
+		case "allocs/op":
+			if res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+				return Result{}, fmt.Errorf("perf: bad allocs/op in %q: %w", line, err)
+			}
+		default:
+			// MB/s and custom metrics are informational; the baselines
+			// track only the three core units.
+		}
+	}
+	return res, nil
+}

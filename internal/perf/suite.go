@@ -1,0 +1,146 @@
+package perf
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// suite.go drives the curated benchmark suite programmatically via
+// testing.Benchmark, so cmd/deta-bench -perf can measure the hot paths
+// without shelling out to the go tool. Each area's benches also run under
+// plain `go test -bench PerfSuite` through the per-package
+// BenchmarkPerfSuite wrappers, which emit the same stable names.
+
+// Bench is one suite entry: a stable name (recorded in the baselines —
+// renaming one is a deliberate re-baselining event) and the body.
+type Bench struct {
+	Name string
+	F    func(b *testing.B)
+	// Ignore exempts the bench from regression gating (tracked, never
+	// failing); IgnoreReason says why.
+	Ignore       bool
+	IgnoreReason string
+}
+
+// Areas lists the tracked baseline areas in sorted order.
+func Areas() []string {
+	return []string{"agg", "core", "journal", "paillier", "transport"}
+}
+
+// SuiteBenches returns an area's benches.
+func SuiteBenches(area string) ([]Bench, error) {
+	switch area {
+	case "agg":
+		return aggBenches(), nil
+	case "core":
+		return coreBenches(), nil
+	case "journal":
+		return journalBenches(), nil
+	case "paillier":
+		return paillierBenches(), nil
+	case "transport":
+		return transportBenches(), nil
+	}
+	return nil, fmt.Errorf("perf: unknown area %q (have %v)", area, Areas())
+}
+
+// withBenchtime temporarily overrides the testing package's benchtime so
+// testing.Benchmark runs are bounded. Outside a test binary the testing
+// flags do not exist yet; testing.Init registers them.
+func withBenchtime(d time.Duration, f func()) error {
+	if flag.Lookup("test.benchtime") == nil {
+		testing.Init()
+	}
+	fl := flag.Lookup("test.benchtime")
+	old := fl.Value.String()
+	if err := fl.Value.Set(d.String()); err != nil {
+		return fmt.Errorf("perf: setting benchtime: %w", err)
+	}
+	defer func() { _ = fl.Value.Set(old) }()
+	f()
+	return nil
+}
+
+// RunArea executes one area's suite best-of-runs times at the given
+// benchtime per run and returns a baseline-shaped File. logf (optional)
+// receives one progress line per completed measurement, so a watchdog
+// abort still leaves partial results visible.
+func RunArea(area string, runs int, benchtime time.Duration, logf func(format string, args ...any)) (*File, error) {
+	benches, err := SuiteBenches(area)
+	if err != nil {
+		return nil, err
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	if benchtime <= 0 {
+		benchtime = 100 * time.Millisecond
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	allRuns := make([][]Result, runs)
+	var benchErr error
+	err = withBenchtime(benchtime, func() {
+		for i := 0; i < runs && benchErr == nil; i++ {
+			for _, bench := range benches {
+				bm := bench
+				r := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					bm.F(b)
+				})
+				if r.N == 0 {
+					benchErr = fmt.Errorf("perf: bench %s failed (zero iterations)", bm.Name)
+					break
+				}
+				res := Result{
+					Bench:        bm.Name,
+					NsPerOp:      float64(r.T.Nanoseconds()) / float64(r.N),
+					AllocsPerOp:  r.AllocsPerOp(),
+					BytesPerOp:   r.AllocedBytesPerOp(),
+					Iterations:   int64(r.N),
+					Ignore:       bm.Ignore,
+					IgnoreReason: bm.IgnoreReason,
+				}
+				allRuns[i] = append(allRuns[i], res)
+				logf("perf: %s run %d/%d: %s %.0f ns/op %d allocs/op %d B/op (%d iters)",
+					area, i+1, runs, res.Bench, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.Iterations)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if benchErr != nil {
+		return nil, benchErr
+	}
+	return &File{
+		Version: Version,
+		Area:    area,
+		Go:      runtime.Version(),
+		OS:      runtime.GOOS,
+		Arch:    runtime.GOARCH,
+		Scale:   fmt.Sprintf("best-of-%d@%s", runs, benchtime),
+		Results: MergeBest(allRuns...),
+	}, nil
+}
+
+// RunAreaBenchmarks runs an area's suite under a regular `go test -bench`
+// parent benchmark, giving each entry its stable baseline name as the
+// sub-benchmark path.
+func RunAreaBenchmarks(b *testing.B, area string) {
+	benches, err := SuiteBenches(area)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bench := range benches {
+		bm := bench
+		b.Run(bm.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			bm.F(b)
+		})
+	}
+}

@@ -1,0 +1,92 @@
+package perf
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAreasSortedAndResolvable(t *testing.T) {
+	areas := Areas()
+	if !sort.StringsAreSorted(areas) {
+		t.Errorf("areas not sorted: %v", areas)
+	}
+	if len(areas) != 5 {
+		t.Errorf("%d areas, want 5: %v", len(areas), areas)
+	}
+	seen := map[string]string{}
+	for _, area := range areas {
+		benches, err := SuiteBenches(area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(benches) == 0 {
+			t.Errorf("area %s has no benches", area)
+		}
+		for _, bench := range benches {
+			// Stable names: area-prefixed, no spaces (b.Run would mangle
+			// them), unique across the whole suite.
+			if !strings.HasPrefix(bench.Name, area+"/") {
+				t.Errorf("bench %q not prefixed with its area %q", bench.Name, area)
+			}
+			if strings.ContainsAny(bench.Name, " \t") {
+				t.Errorf("bench %q contains whitespace", bench.Name)
+			}
+			if prev, dup := seen[bench.Name]; dup {
+				t.Errorf("bench name %q duplicated (%s and %s)", bench.Name, prev, area)
+			}
+			seen[bench.Name] = area
+			if bench.Ignore && bench.IgnoreReason == "" {
+				t.Errorf("bench %q is exempt without a reason", bench.Name)
+			}
+			if bench.F == nil {
+				t.Errorf("bench %q has no body", bench.Name)
+			}
+		}
+	}
+	if _, err := SuiteBenches("nope"); err == nil {
+		t.Error("unknown area accepted")
+	}
+}
+
+// TestRunAreaAgg executes the agg area end to end at a tiny benchtime and
+// checks the File it produces is baseline-shaped.
+func TestRunAreaAgg(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	var lines int
+	f, err := RunArea("agg", 2, time.Millisecond, func(string, ...any) { lines++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches, _ := SuiteBenches("agg")
+	if len(f.Results) != len(benches) {
+		t.Fatalf("%d results, want %d", len(f.Results), len(benches))
+	}
+	if lines != 2*len(benches) {
+		t.Errorf("%d progress lines, want %d", lines, 2*len(benches))
+	}
+	if f.Area != "agg" || f.Version != Version || f.Go == "" || f.OS == "" || f.Arch == "" {
+		t.Errorf("metadata = %+v", f)
+	}
+	if !strings.Contains(f.Scale, "best-of-2") {
+		t.Errorf("scale = %q", f.Scale)
+	}
+	for _, r := range f.Results {
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			t.Errorf("implausible result %+v", r)
+		}
+	}
+	// An unchanged rerun of itself passes the default gate trivially.
+	if n := Regressions(Compare(f.Results, f.Results, DefaultThresholds())); n != 0 {
+		t.Errorf("self-compare regressed: %d", n)
+	}
+}
+
+func TestRunAreaUnknown(t *testing.T) {
+	if _, err := RunArea("nope", 1, time.Millisecond, nil); err == nil {
+		t.Error("unknown area accepted")
+	}
+}

@@ -47,7 +47,11 @@ func (b Backoff) Delay(i int) time.Duration { return b.delay(i) }
 
 // delay returns the jittered sleep before attempt i+1 (i counts failures
 // so far, starting at 0).
-func (b Backoff) delay(i int) time.Duration {
+func (b Backoff) delay(i int) time.Duration { return b.delayRand(i, rand.Float64) }
+
+// delayRand is delay with an injectable uniform-[0,1) source, so the
+// schedule's bounds and growth are testable under a seeded RNG.
+func (b Backoff) delayRand(i int, randFloat func() float64) time.Duration {
 	initial, max, factor, jitter := b.Initial, b.Max, b.Factor, b.Jitter
 	if initial <= 0 {
 		initial = 50 * time.Millisecond
@@ -71,7 +75,7 @@ func (b Backoff) delay(i int) time.Duration {
 		d = float64(max)
 	}
 	// Symmetric jitter decorrelates fleets of clients reconnecting at once.
-	d *= 1 + jitter*(2*rand.Float64()-1)
+	d *= 1 + jitter*(2*randFloat()-1)
 	return time.Duration(d)
 }
 

@@ -21,4 +21,9 @@ go test -race ./...
 echo "== chaos e2e (fault injection + aggregator kill/restart, -race)"
 go test -race -count=1 -run 'TestChaosRestartBitIdenticalModel' -v ./internal/core
 
+echo "== perf vs tracked baselines (warn-only: shared machines are noisy)"
+go run ./cmd/deta-bench -perf -perf-baseline . ||
+	echo "WARNING: perf regression vs BENCH_*.json baselines (exit $?)." \
+		"Investigate, or refresh with: go run ./cmd/deta-bench -perf -perf-baseline-write"
+
 echo "== all checks passed"
