@@ -42,10 +42,20 @@ func main() {
 	stateDir := flag.String("state-dir", "", "directory for the durable round journal; a restarted aggregator recovers its rounds from it (empty = in-memory only)")
 	retain := flag.Int("retain", 0, "evict aggregated rounds older than N from memory (0 = keep all; the journal stays the durable copy)")
 	noFsync := flag.Bool("journal-no-fsync", false, "skip the per-record journal fsync (survives process crashes only; benchmarking)")
+	wire := flag.String("wire", "binary", "fragment wire codec for responses: binary (fixed-layout) or gob (legacy rollback); requests are sniffed, both always accepted")
 	flag.Parse()
 
 	log.SetPrefix(fmt.Sprintf("deta-aggregator[%s]: ", *id))
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	switch *wire {
+	case "binary":
+		transport.SetBinaryWire(true)
+	case "gob":
+		transport.SetBinaryWire(false)
+	default:
+		log.Fatalf("unknown -wire %q (want binary or gob)", *wire)
+	}
 
 	alg, err := parseAlgorithm(*algorithm)
 	if err != nil {

@@ -7,6 +7,11 @@
 // instances:
 //
 //	deta-ap -listen 127.0.0.1:7000 -tls-dir ./tls
+//
+// The AP speaks only control-plane RPCs (registration, attestation,
+// key/round dispatch), which stay on the gob codec; the fixed-layout
+// binary fragment codec (-wire on parties and aggregators) never appears
+// on this daemon's connections, so it takes no -wire flag.
 package main
 
 import (

@@ -123,6 +123,7 @@ type benchFlags struct {
 	perfBenchtime *time.Duration
 	perfFreshDir  *string
 	perfMaxNsPct  *float64
+	perfMaxAllocs *int64
 }
 
 func newBenchFlags() *benchFlags {
@@ -152,6 +153,7 @@ func newBenchFlags() *benchFlags {
 	b.perfBenchtime = fs.Duration("perf-benchtime", 100*time.Millisecond, "target benchtime per run")
 	b.perfFreshDir = fs.String("perf-fresh-dir", "", "also write the fresh results as BENCH_<area>.json into this directory (e.g. for CI artifacts)")
 	b.perfMaxNsPct = fs.Float64("perf-max-ns-pct", 0, "override the allowed ns/op growth in percent (0 = default gate)")
+	b.perfMaxAllocs = fs.Int64("perf-max-allocs", 0, "override the allowed allocs/op growth (0 = default gate; allocs jitter at very short benchtimes)")
 	return b
 }
 
@@ -181,6 +183,9 @@ func runPerf(b *benchFlags, out *lockedWriter, stderr io.Writer) int {
 	th := perf.DefaultThresholds()
 	if *b.perfMaxNsPct > 0 {
 		th.MaxNsPct = *b.perfMaxNsPct
+	}
+	if *b.perfMaxAllocs > 0 {
+		th.MaxAllocsDelta = *b.perfMaxAllocs
 	}
 
 	logf := func(format string, args ...any) {

@@ -153,13 +153,14 @@ func TestPerfBaselineWorkflow(t *testing.T) {
 		t.Fatalf("baseline malformed: %+v", base)
 	}
 
-	// Unchanged rerun passes. The generous ns gate keeps this robust to
-	// scheduler noise at a 1ms benchtime; the structural checks (missing
-	// benches, allocs) still apply.
+	// Unchanged rerun passes. The generous ns and allocs gates keep this
+	// robust to scheduler noise at a 1ms benchtime (one-iteration benches
+	// jitter a few allocs/op run to run); the structural checks (missing
+	// benches) still apply.
 	out.Reset()
 	errb.Reset()
 	freshDir := filepath.Join(dir, "fresh")
-	code := run(append(quick, "-perf-max-ns-pct", "5000", "-perf-fresh-dir", freshDir), &out, &errb)
+	code := run(append(quick, "-perf-max-ns-pct", "5000", "-perf-max-allocs", "64", "-perf-fresh-dir", freshDir), &out, &errb)
 	if code != 0 {
 		t.Fatalf("unchanged rerun exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
 	}

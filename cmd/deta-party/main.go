@@ -57,10 +57,20 @@ func main() {
 	roundTimeout := flag.Duration("round-timeout", 5*time.Minute, "deadline for one full round's download phase")
 	aggQuorum := flag.Int("agg-quorum", 0, "minimum aggregators that must answer per round (0 = all); below K degrades, never hangs")
 	keepalive := flag.Duration("keepalive", 0, "aggregator link health-check interval (0 = off)")
+	wire := flag.String("wire", "binary", "fragment wire codec: binary (fixed-layout) or gob (legacy rollback)")
 	flag.Parse()
 
 	log.SetPrefix(fmt.Sprintf("deta-party[%s]: ", *id))
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	switch *wire {
+	case "binary":
+		transport.SetBinaryWire(true)
+	case "gob":
+		transport.SetBinaryWire(false)
+	default:
+		log.Fatalf("unknown -wire %q (want binary or gob)", *wire)
+	}
 
 	if *index < 0 || *index >= *parties {
 		log.Fatalf("index %d out of range [0,%d)", *index, *parties)
@@ -179,6 +189,13 @@ func main() {
 		global, err = core.InverseTransform(mapper, shuffler, merged, roundID, !*noShuffle)
 		if err != nil {
 			log.Fatal(err)
+		}
+		// Hand the round's fragment buffers back to the tensor pool. Only the
+		// upload-side frags go back: merged fragments may alias them (quorum
+		// fallback substitutes the party's own fragment), and pooling one
+		// buffer twice would hand it out twice.
+		for _, frag := range frags {
+			tensor.PutVector(frag)
 		}
 		log.Printf("round %d done: local train loss %.4f", round, loss)
 	}

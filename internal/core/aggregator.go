@@ -148,7 +148,22 @@ func (a *AggregatorNode) LastAggregatedRound() int {
 // silently, so a party that hit an ambiguous network failure can safely
 // retry; only a *conflicting* re-upload returns ErrDuplicateUpload. The
 // fragment is journaled (fsynced) before the upload is acknowledged.
+//
+// The node clones frag before storing it, so the caller may keep using its
+// buffer. Callers that hand over ownership should use UploadOwned.
 func (a *AggregatorNode) Upload(round int, partyID string, frag tensor.Vector, weight float64) error {
+	return a.upload(round, partyID, frag, weight, false)
+}
+
+// UploadOwned is Upload for callers relinquishing frag — the RPC handler,
+// whose fragment was decoded into a buffer that exists only for this
+// request. The node stores frag without the defensive clone; the caller
+// must not touch it afterwards.
+func (a *AggregatorNode) UploadOwned(round int, partyID string, frag tensor.Vector, weight float64) error {
+	return a.upload(round, partyID, frag, weight, true)
+}
+
+func (a *AggregatorNode) upload(round int, partyID string, frag tensor.Vector, weight float64, owned bool) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if !a.parties[partyID] {
@@ -165,13 +180,16 @@ func (a *AggregatorNode) Upload(round int, partyID string, frag tensor.Vector, w
 		}
 		return fmt.Errorf("%w %d from %q", ErrDuplicateUpload, round, partyID)
 	}
-	if err := a.logEventDurable(recUpload, walEvent{Party: partyID, Round: round, Frag: frag, Weight: weight}); err != nil {
+	if err := a.logFragmentDurable(recUpload2, partyID, round, frag, weight); err != nil {
 		if !ok {
 			delete(a.rounds, round) // don't leave a phantom empty round
 		}
 		return fmt.Errorf("core: aggregator %s journaling upload: %w", a.ID, err)
 	}
-	rs.fragments[partyID] = frag.Clone()
+	if !owned {
+		frag = frag.Clone()
+	}
+	rs.fragments[partyID] = frag
 	rs.weights[partyID] = weight
 	a.maybeCompactLocked()
 	return nil
@@ -265,7 +283,7 @@ func (a *AggregatorNode) Aggregate(round int) error {
 	// Journal the *result*, not just the trigger: stateful algorithms
 	// (e.g. Paillier fusion) cannot be re-run deterministically on
 	// replay, and parties must be able to re-download after a crash.
-	if err := a.logEventDurable(recAggregate, walEvent{Round: round, Frag: fused}); err != nil {
+	if err := a.logFragmentDurable(recAggregate2, "", round, fused, 0); err != nil {
 		return fmt.Errorf("core: aggregator %s journaling round %d: %w", a.ID, round, err)
 	}
 	a.applyAggregated(round, fused)

@@ -178,7 +178,7 @@ func (f *Fleet) UploadAll(ctx context.Context, round int, partyID string, frags 
 	_, _, err := f.fanOut(func(j int, a *AggregatorClient) error {
 		cctx, cancel := f.callCtx(ctx)
 		defer cancel()
-		return a.Upload(cctx, round, partyID, frags[j], weight)
+		return a.UploadFrag(cctx, round, partyID, frags[j], j, weight)
 	})
 	return err
 }

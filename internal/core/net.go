@@ -38,6 +38,7 @@ type (
 	UploadReq struct {
 		Round    int
 		PartyID  string
+		Frag     int // fragment (partition) index at this aggregator
 		Fragment []float64
 		Weight   float64
 	}
@@ -64,6 +65,44 @@ type (
 	DownloadResp struct{ Fragment []float64 }
 )
 
+// The fragment-bearing messages ride transport's fixed-layout binary
+// codec instead of gob: they are the data plane, exchanged by every party
+// on every round. All other messages above (the control plane) stay gob.
+
+// AppendWire implements transport.WireAppender.
+func (r UploadReq) AppendWire(dst []byte) ([]byte, error) {
+	return transport.AppendFragment(dst, &transport.Fragment{
+		Round: r.Round, Index: r.Frag, PartyID: r.PartyID,
+		Weight: r.Weight, Values: tensor.Vector(r.Fragment),
+	})
+}
+
+// DecodeWire implements transport.WireDecoder. The fragment lands in a
+// pooled tensor buffer (see transport.DecodeFragment).
+func (r *UploadReq) DecodeWire(data []byte) error {
+	var f transport.Fragment
+	if err := transport.DecodeFragment(data, &f); err != nil {
+		return err
+	}
+	r.Round, r.Frag, r.PartyID, r.Weight, r.Fragment = f.Round, f.Index, f.PartyID, f.Weight, f.Values
+	return nil
+}
+
+// AppendWire implements transport.WireAppender.
+func (r DownloadResp) AppendWire(dst []byte) ([]byte, error) {
+	return transport.AppendFragment(dst, &transport.Fragment{Values: tensor.Vector(r.Fragment)})
+}
+
+// DecodeWire implements transport.WireDecoder.
+func (r *DownloadResp) DecodeWire(data []byte) error {
+	var f transport.Fragment
+	if err := transport.DecodeFragment(data, &f); err != nil {
+		return err
+	}
+	r.Fragment = f.Values
+	return nil
+}
+
 // ServeAggregator binds an AggregatorNode's protocol onto an RPC server.
 func ServeAggregator(node *AggregatorNode, srv *transport.Server) {
 	transport.HandleTyped(srv, MethodChallenge, func(r ChallengeReq) (ChallengeResp, error) {
@@ -81,7 +120,9 @@ func ServeAggregator(node *AggregatorNode, srv *transport.Server) {
 		return RegisterResp{OK: true}, nil
 	})
 	transport.HandleTyped(srv, MethodUpload, func(r UploadReq) (UploadResp, error) {
-		if err := node.Upload(r.Round, r.PartyID, tensor.Vector(r.Fragment), r.Weight); err != nil {
+		// The decoded fragment was materialized for this request, so the
+		// node takes ownership instead of paying a defensive clone.
+		if err := node.UploadOwned(r.Round, r.PartyID, tensor.Vector(r.Fragment), r.Weight); err != nil {
 			return UploadResp{}, err
 		}
 		return UploadResp{OK: true}, nil
@@ -192,8 +233,15 @@ func (a *AggregatorClient) Register(ctx context.Context, partyID string) error {
 // Upload sends a transformed fragment. The server side is idempotent for
 // identical retries, so re-sending after an ambiguous failure is safe.
 func (a *AggregatorClient) Upload(ctx context.Context, round int, partyID string, frag tensor.Vector, weight float64) error {
+	return a.UploadFrag(ctx, round, partyID, frag, 0, weight)
+}
+
+// UploadFrag is Upload carrying the fragment (partition) index in the
+// wire header — Fleet.UploadAll uses it so journals and traces can tell
+// which partition a payload belongs to.
+func (a *AggregatorClient) UploadFrag(ctx context.Context, round int, partyID string, frag tensor.Vector, index int, weight float64) error {
 	_, err := callAgg[UploadReq, UploadResp](ctx, a, MethodUpload, UploadReq{
-		Round: round, PartyID: partyID, Fragment: frag, Weight: weight,
+		Round: round, PartyID: partyID, Frag: index, Fragment: frag, Weight: weight,
 	})
 	if err != nil {
 		return fmt.Errorf("core: upload to %s: %w", a.ID, err)

@@ -21,17 +21,25 @@ import (
 	"deta/internal/journal"
 	"deta/internal/sev"
 	"deta/internal/tensor"
+	"deta/internal/transport"
 )
 
 // Journal record types (journal.Record.Type).
 const (
 	recRegister  uint8 = 1 // a party was admitted
-	recUpload    uint8 = 2 // a fragment was accepted (fsynced before ack)
-	recAggregate uint8 = 3 // a round was fused; carries the fused vector
+	recUpload    uint8 = 2 // legacy: accepted fragment, gob walEvent payload
+	recAggregate uint8 = 3 // legacy: fused round, gob walEvent payload
 	recDrop      uint8 = 4 // a round's state was explicitly dropped
 	recQuorum    uint8 = 5 // the party quorum changed
 	recRetention uint8 = 6 // the round-retention bound changed
 	recFetch     uint8 = 7 // advisory: an aggregated fragment was served
+
+	// Fragment-carrying records written since the fixed-layout wire codec:
+	// their payload is a transport fragment encoding, not a gob walEvent,
+	// so the hot upload path journals without gob's reflection cost. The
+	// legacy types above are still replayed, so pre-codec journals recover.
+	recUpload2    uint8 = 8 // an accepted fragment (fsynced before ack)
+	recAggregate2 uint8 = 9 // a fused round; carries the fused vector
 )
 
 // walEvent is the single gob-encoded payload shape shared by all record
@@ -183,6 +191,29 @@ func (a *AggregatorNode) restoreSnapshot(snap walSnapshot) {
 // applyRecord replays one journal record. Application is idempotent, so
 // records that overlap the snapshot re-apply harmlessly.
 func (a *AggregatorNode) applyRecord(r journal.Record, info *RecoveryInfo) error {
+	if r.Type == recUpload2 || r.Type == recAggregate2 {
+		var f transport.Fragment
+		if err := transport.DecodeFragment(r.Data, &f); err != nil {
+			return fmt.Errorf("record type %d: %w", r.Type, err)
+		}
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		if r.Type == recUpload2 {
+			// An accepted upload implies registration even if the register
+			// record itself was lost.
+			a.parties[f.PartyID] = true
+			rs, ok := a.rounds[f.Round]
+			if !ok {
+				rs = newRoundState()
+				a.rounds[f.Round] = rs
+			}
+			rs.fragments[f.PartyID] = f.Values
+			rs.weights[f.PartyID] = f.Weight
+		} else {
+			a.applyAggregated(f.Round, f.Values)
+		}
+		return nil
+	}
 	var ev walEvent
 	if err := decodeWAL(r.Data, &ev); err != nil {
 		return fmt.Errorf("record type %d: %w", r.Type, err)
@@ -238,14 +269,18 @@ func (a *AggregatorNode) applyAggregated(round int, fused tensor.Vector) {
 	a.evictLocked(a.lastAggregated)
 }
 
-// logEventDurable commits one record to the journal (fsync) before the
-// caller acknowledges the mutation; with no journal attached it is a
-// no-op. Callers must hold a.mu.
-func (a *AggregatorNode) logEventDurable(typ uint8, ev walEvent) error {
+// logFragmentDurable commits a fragment-carrying record (fsync) before
+// the caller acknowledges the mutation, encoding the payload with the
+// fixed-layout wire codec — the same encoding the fragment arrived in —
+// instead of gob. With no journal attached it is a no-op. Callers must
+// hold a.mu.
+func (a *AggregatorNode) logFragmentDurable(typ uint8, party string, round int, frag tensor.Vector, weight float64) error {
 	if a.journal == nil {
 		return nil
 	}
-	data, err := encodeWAL(ev)
+	data, err := transport.AppendFragment(nil, &transport.Fragment{
+		Round: round, PartyID: party, Weight: weight, Values: frag,
+	})
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"deta/internal/parallel"
 	"deta/internal/rng"
@@ -16,7 +17,30 @@ import (
 // parties, and unrecoverable without the key.
 type Shuffler struct {
 	permKey []byte
+
+	// Permutation cache: deriving a permutation costs a full keyed-stream
+	// Fisher–Yates pass, and a party needs the identical permutation twice
+	// per round (Transform on upload, InverseTransform on download).
+	// Cached perms are shared read-only slices — holders must never write
+	// through them. The map is bounded: at capacity it is cleared
+	// wholesale, which is correct because rounds advance monotonically and
+	// stale entries would never be hit again.
+	mu    sync.Mutex
+	cache map[permCacheKey][]int
 }
+
+// permCacheKey includes the fragment length so a caller shuffling a
+// different-sized vector under the same (round, partition) can never be
+// served a mismatched permutation.
+type permCacheKey struct {
+	round     string
+	partition int
+	n         int
+}
+
+// permCacheCap bounds the cache; K partitions × a few in-flight rounds
+// fits comfortably.
+const permCacheCap = 64
 
 // NewShuffler wraps the shared permutation key dispatched by the key
 // broker.
@@ -24,13 +48,35 @@ func NewShuffler(permKey []byte) (*Shuffler, error) {
 	if len(permKey) < 16 {
 		return nil, fmt.Errorf("core: permutation key of %d bytes is below the 16-byte minimum", len(permKey))
 	}
-	return &Shuffler{permKey: append([]byte(nil), permKey...)}, nil
+	return &Shuffler{
+		permKey: append([]byte(nil), permKey...),
+		cache:   make(map[permCacheKey][]int, permCacheCap),
+	}, nil
 }
 
-// perm derives the round- and partition-specific permutation of length n.
+// perm derives the round- and partition-specific permutation of length n,
+// serving repeats from the cache. The returned slice is shared: callers
+// must treat it as read-only.
 func (s *Shuffler) perm(roundID []byte, partition, n int) []int {
+	key := permCacheKey{round: string(roundID), partition: partition, n: n}
+	s.mu.Lock()
+	if p, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return p
+	}
+	s.mu.Unlock()
+	// Derive outside the lock; a concurrent duplicate derivation is
+	// harmless (both produce the identical permutation) and cheaper than
+	// serializing every partition's derivation behind one mutex.
 	seed := rng.DeriveSeed(s.permKey, roundID, []byte(fmt.Sprintf("partition-%d", partition)))
-	return rng.NewStream(seed, "param-shuffle").Perm(n)
+	p := rng.NewStream(seed, "param-shuffle").Perm(n)
+	s.mu.Lock()
+	if len(s.cache) >= permCacheCap {
+		clear(s.cache)
+	}
+	s.cache[key] = p
+	s.mu.Unlock()
+	return p
 }
 
 // Shuffle permutes a fragment for upload: out[i] = frag[perm[i]].
@@ -58,41 +104,78 @@ func (s *Shuffler) Unshuffle(frag tensor.Vector, roundID []byte, partition int) 
 // update with the mapper, then shuffle each fragment for the round.
 // Shuffling can be disabled (partition-only mode) to reproduce the paper's
 // first attack configuration.
+//
+// The shuffled path fuses both steps into a single gather per fragment:
+// shuffling a partition-gathered fragment composes to
+//
+//	frag[i] = update[idxs[p[i]]]
+//
+// so no intermediate partition buffer is built, and fragments land in
+// pooled tensor buffers (hand them to tensor.PutVector after upload). The
+// result is bit-identical to Partition followed by Shuffle.
 func Transform(m *Mapper, s *Shuffler, update tensor.Vector, roundID []byte, shuffle bool) ([]tensor.Vector, error) {
-	frags, err := m.Partition(update)
-	if err != nil {
-		return nil, err
+	if !shuffle {
+		return m.Partition(update)
 	}
-	if shuffle {
-		if s == nil {
-			return nil, fmt.Errorf("core: shuffle requested without a shuffler")
-		}
-		// Each fragment's permutation is derived and applied independently
-		// (domain-separated by partition index), so fragments shuffle
-		// concurrently.
-		parallel.For(len(frags), 1, func(lo, hi int) {
-			for j := lo; j < hi; j++ {
-				frags[j] = s.Shuffle(frags[j], roundID, j)
+	if len(update) != m.n {
+		return nil, fmt.Errorf("core: update length %d, mapper built for %d", len(update), m.n)
+	}
+	if s == nil {
+		return nil, fmt.Errorf("core: shuffle requested without a shuffler")
+	}
+	// Each fragment's permutation is derived and applied independently
+	// (domain-separated by partition index), so fragments build
+	// concurrently.
+	out := make([]tensor.Vector, len(m.parts))
+	parallel.For(len(m.parts), 1, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			idxs := m.parts[j]
+			p := s.perm(roundID, j, len(idxs))
+			frag := tensor.GetVector(len(idxs))
+			for i, src := range p {
+				frag[i] = update[idxs[src]]
 			}
-		})
-	}
-	return frags, nil
+			out[j] = frag
+		}
+	})
+	return out, nil
 }
 
 // InverseTransform is Trans^-1: reverse-shuffle each aggregated fragment
 // and merge them back into a full model update.
+//
+// The shuffled path fuses unshuffle and merge into a single scatter:
+//
+//	out[idxs[p[i]]] = frag[i]
+//
+// with no intermediate unshuffled fragment. Partitions write disjoint
+// index sets (Mapper.Validate invariant), so the scatters run
+// concurrently; the result is bit-identical to Unshuffle followed by
+// Merge.
 func InverseTransform(m *Mapper, s *Shuffler, frags []tensor.Vector, roundID []byte, shuffle bool) (tensor.Vector, error) {
-	if shuffle {
-		if s == nil {
-			return nil, fmt.Errorf("core: unshuffle requested without a shuffler")
-		}
-		unshuffled := make([]tensor.Vector, len(frags))
-		parallel.For(len(frags), 1, func(lo, hi int) {
-			for j := lo; j < hi; j++ {
-				unshuffled[j] = s.Unshuffle(frags[j], roundID, j)
-			}
-		})
-		frags = unshuffled
+	if !shuffle {
+		return m.Merge(frags)
 	}
-	return m.Merge(frags)
+	if s == nil {
+		return nil, fmt.Errorf("core: unshuffle requested without a shuffler")
+	}
+	if len(frags) != len(m.parts) {
+		return nil, fmt.Errorf("core: %d fragments, mapper has %d partitions", len(frags), len(m.parts))
+	}
+	for j, idxs := range m.parts {
+		if len(frags[j]) != len(idxs) {
+			return nil, fmt.Errorf("core: fragment %d has %d values, want %d", j, len(frags[j]), len(idxs))
+		}
+	}
+	out := make(tensor.Vector, m.n)
+	parallel.For(len(m.parts), 1, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			idxs := m.parts[j]
+			p := s.perm(roundID, j, len(idxs))
+			for i, v := range frags[j] {
+				out[idxs[p[i]]] = v
+			}
+		}
+	})
+	return out, nil
 }

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"deta/internal/rng"
+	"deta/internal/tensor"
+)
+
+// transform_fused_test.go proves the fused Transform/InverseTransform
+// gather/scatter passes are bit-identical to the unfused composition they
+// replaced (Partition∘Shuffle and Unshuffle∘Merge), including non-finite
+// values, and that the permutation cache is safe under concurrent rounds.
+
+// unfusedTransform is the reference composition the fused path must match.
+func unfusedTransform(t *testing.T, m *Mapper, s *Shuffler, update tensor.Vector, roundID []byte) []tensor.Vector {
+	t.Helper()
+	frags, err := m.Partition(update)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]tensor.Vector, len(frags))
+	for j, frag := range frags {
+		out[j] = s.Shuffle(frag, roundID, j)
+	}
+	return out
+}
+
+// unfusedInverse is the reference Unshuffle-then-Merge composition.
+func unfusedInverse(t *testing.T, m *Mapper, s *Shuffler, frags []tensor.Vector, roundID []byte) tensor.Vector {
+	t.Helper()
+	plain := make([]tensor.Vector, len(frags))
+	for j, frag := range frags {
+		plain[j] = s.Unshuffle(frag, roundID, j)
+	}
+	merged, err := m.Merge(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return merged
+}
+
+// TestTransformFusedEquivalence: for a spread of model sizes and partition
+// counts, the fused single-pass Transform must produce bit-identical
+// fragments to Partition followed by Shuffle, and the fused scatter
+// InverseTransform must match Unshuffle followed by Merge. Values include
+// NaN, ±Inf and -0.0 so the comparison is on bits, not float equality.
+func TestTransformFusedEquivalence(t *testing.T) {
+	s := testShuffler(t)
+	for _, tc := range []struct {
+		n int
+		k int
+	}{
+		{1, 1}, {7, 3}, {97, 3}, {256, 2}, {1024, 5}, {4097, 4},
+	} {
+		m, err := NewMapper(tc.n, EqualProportions(tc.k), []byte("fused"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := make(tensor.Vector, tc.n)
+		st := rng.NewStream([]byte("fused-vals"), "v")
+		for i := range v {
+			v[i] = st.NormFloat64()
+		}
+		// Seed awkward values where the vector is big enough to hold them.
+		for i, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1)} {
+			if i < len(v) {
+				v[i] = x
+			}
+		}
+		roundID := []byte("round-eq")
+
+		want := unfusedTransform(t, m, s, v, roundID)
+		got, err := Transform(m, s, v, roundID, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d k=%d: fused produced %d fragments, want %d", tc.n, tc.k, len(got), len(want))
+		}
+		for j := range want {
+			if len(got[j]) != len(want[j]) {
+				t.Fatalf("n=%d k=%d: fragment %d length %d, want %d", tc.n, tc.k, j, len(got[j]), len(want[j]))
+			}
+			for i := range want[j] {
+				if math.Float64bits(got[j][i]) != math.Float64bits(want[j][i]) {
+					t.Fatalf("n=%d k=%d: fragment %d diverges at %d: %x vs %x",
+						tc.n, tc.k, j, i, math.Float64bits(got[j][i]), math.Float64bits(want[j][i]))
+				}
+			}
+		}
+
+		wantBack := unfusedInverse(t, m, s, want, roundID)
+		gotBack, err := InverseTransform(m, s, got, roundID, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range wantBack {
+			if math.Float64bits(gotBack[i]) != math.Float64bits(wantBack[i]) {
+				t.Fatalf("n=%d k=%d: inverse diverges at %d", tc.n, tc.k, i)
+			}
+		}
+		// And the full round trip restores the input bit-for-bit.
+		for i := range v {
+			if math.Float64bits(gotBack[i]) != math.Float64bits(v[i]) {
+				t.Fatalf("n=%d k=%d: round trip diverges at %d", tc.n, tc.k, i)
+			}
+		}
+		for _, frag := range got {
+			tensor.PutVector(frag)
+		}
+	}
+}
+
+// TestTransformConcurrentRounds hammers one shuffler from many goroutines
+// across overlapping rounds — the permutation cache's fill, hit, and
+// clear-at-capacity paths all race here. Run under -race; correctness is
+// checked by round-tripping every transform.
+func TestTransformConcurrentRounds(t *testing.T) {
+	m, err := NewMapper(512, EqualProportions(4), []byte("conc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testShuffler(t)
+	v := make(tensor.Vector, 512)
+	st := rng.NewStream([]byte("conc-vals"), "v")
+	for i := range v {
+		v[i] = st.NormFloat64()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 24; r++ {
+				// More distinct (round, partition) keys than permCacheCap, so
+				// wholesale clears interleave with hits.
+				roundID := []byte{byte(r)}
+				frags, err := Transform(m, s, v, roundID, true)
+				if err != nil {
+					errs <- err
+					return
+				}
+				back, err := InverseTransform(m, s, frags, roundID, true)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range v {
+					if math.Float64bits(back[i]) != math.Float64bits(v[i]) {
+						t.Errorf("goroutine %d round %d: round trip diverged at %d", g, r, i)
+						return
+					}
+				}
+				for _, frag := range frags {
+					tensor.PutVector(frag)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestTransformLengthMismatch pins the fused path's validation errors,
+// which must match the unfused path's behavior.
+func TestTransformLengthMismatch(t *testing.T) {
+	m, _ := NewMapper(10, EqualProportions(2), []byte("t"))
+	s := testShuffler(t)
+	if _, err := Transform(m, s, make(tensor.Vector, 9), []byte("r"), true); err == nil {
+		t.Fatal("fused transform accepted a short update")
+	}
+	frags, err := Transform(m, s, make(tensor.Vector, 10), []byte("r"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags[0] = frags[0][:len(frags[0])-1]
+	if _, err := InverseTransform(m, s, frags, []byte("r"), true); err == nil {
+		t.Fatal("fused inverse accepted a short fragment")
+	}
+	if _, err := InverseTransform(m, s, frags[:1], []byte("r"), true); err == nil {
+		t.Fatal("fused inverse accepted missing fragments")
+	}
+}

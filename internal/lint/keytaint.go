@@ -49,8 +49,8 @@ func (*KeyTaint) Doc() string {
 // keyTaintSources maps resolved callees (pkgpath[.Recv].Name) to the
 // label of the key material they return.
 var keyTaintSources = map[string]string{
-	"deta/internal/attest.KeyBroker.PermutationKey": "permutation key",
-	"deta/internal/core.APClient.PermKey":           "permutation key",
+	"deta/internal/attest.KeyBroker.PermutationKey":  "permutation key",
+	"deta/internal/core.APClient.PermKey":            "permutation key",
 	"deta/internal/attest.Proxy.VerifyAndIssueToken": "attestation token key",
 	"deta/internal/sev.CVM.GuestReadSecret":          "injected launch secret",
 	"deta/internal/rng.DeriveSeed":                   "derived subkey",
@@ -68,12 +68,12 @@ var keyTaintFieldSpecs = map[string]string{
 // keyTaintSanitizers are one-way boundaries: their results reveal nothing
 // recoverable about the key.
 var keyTaintSanitizers = map[string]bool{
-	"deta/internal/rng.Fingerprint": true,
-	"crypto/sha256.Sum256":          true,
-	"crypto/sha256.New":             true,
-	"crypto/sha512.Sum512":          true,
-	"crypto/sha512.New":             true,
-	"crypto/hmac.New":               true,
+	"deta/internal/rng.Fingerprint":     true,
+	"crypto/sha256.Sum256":              true,
+	"crypto/sha256.New":                 true,
+	"crypto/sha512.Sum512":              true,
+	"crypto/sha512.New":                 true,
+	"crypto/hmac.New":                   true,
 	"crypto/subtle.ConstantTimeCompare": true,
 }
 
@@ -84,7 +84,7 @@ var keyTaintPropagators = map[string]bool{
 	"slices.Clone": true, "slices.Concat": true,
 	"encoding/hex.EncodeToString": true, "encoding/hex.Dump": true,
 	"encoding/base64.Encoding.EncodeToString": true,
-	"strings.Clone":                           true,
+	"strings.Clone": true,
 }
 
 // wire messages allowed to carry the key: the AP PermKey exchange.
@@ -102,6 +102,13 @@ func (a *KeyTaint) Run(pkg *Package, r *Reporter) {
 	a.Prepare([]*Package{pkg})
 	env := &taintEnv{pkg: pkg, g: a.g}
 	for _, u := range funcUnits(pkg) {
+		if u.lit != nil && u.parent != nil {
+			// Nested literals are checked in context by the enclosing
+			// unit's pass (checkFuncLit), carrying captured-variable
+			// taint; a second, context-free pass here would only
+			// double-report or miss captures.
+			continue
+		}
 		checkTaintUnit(env, u, r)
 	}
 }
@@ -130,8 +137,15 @@ func computeTaint(pkgs []*Package) *taintGlobal {
 	for _, pkg := range pkgs {
 		us := funcUnits(pkg)
 		units = append(units, us...)
+		// One shared weak environment per package: a function literal
+		// resolves captured variables to the very objects its enclosing
+		// function defined, so sharing the (object-keyed, no-kill) local
+		// environment is what lets the fixpoint see taint flow into and
+		// out of closures. Distinct functions cannot pollute each other —
+		// their locals are distinct objects.
+		env := &taintEnv{pkg: pkg, g: g, weak: true, local: make(taintFact)}
 		for range us {
-			envs = append(envs, &taintEnv{pkg: pkg, g: g, weak: true})
+			envs = append(envs, env)
 		}
 	}
 	for round := 0; round < 10; round++ {
@@ -242,9 +256,16 @@ func checkTaintUnit(env *taintEnv, u *funcUnit, r *Reporter) {
 	if body == nil {
 		return
 	}
-	c := buildCFG(body)
 	entry := make(taintFact)
 	seedParams(env, u, entry)
+	checkTaintBody(env, body, entry, r)
+}
+
+// checkTaintBody solves taint over one body's CFG from the given entry
+// fact and reports sink reaches — shared by declared units (empty entry
+// plus parameter seeds) and closures (the enclosing fact at creation).
+func checkTaintBody(env *taintEnv, body *ast.BlockStmt, entry taintFact, r *Reporter) {
+	c := buildCFG(body)
 	transfer := func(f taintFact, n ast.Node) { env.transfer(f, n) }
 	in := solveForward(c, entry, transfer)
 	for _, blk := range reachableBlocks(c, in) {
@@ -260,6 +281,23 @@ func checkTaintUnit(env *taintEnv, u *funcUnit, r *Reporter) {
 			env.checkSinks(exitFact, d, r)
 		}
 	}
+}
+
+// checkFuncLit recurses into a function literal at its creation point,
+// seeding the closure body with a clone of the fact that holds where the
+// literal is built: captured variables carry their taint in (key material
+// laundered through a closure is still key material), and — because the
+// seed is the flow-sensitive fact, not a may-union — a variable strongly
+// updated to a sanitized value before the literal stays clean inside it.
+// Nested literals recurse naturally.
+func (env *taintEnv) checkFuncLit(f taintFact, lit *ast.FuncLit, r *Reporter) {
+	if lit.Body == nil {
+		return
+	}
+	u := &funcUnit{pkg: env.pkg, lit: lit}
+	entry := cloneFact(f)
+	seedParams(env, u, entry)
+	checkTaintBody(env, lit.Body, entry, r)
 }
 
 // taintEnv carries the shared context of the taint passes. weak mode
@@ -449,6 +487,12 @@ func (env *taintEnv) exprTaint(f taintFact, e ast.Expr) (string, bool) {
 				if label, ok := env.g.fields[fv]; ok {
 					return label, true
 				}
+				if !carrierType(fv.Type()) {
+					// A non-carrier field (int, bool, ...) of a tainted
+					// struct cannot hold key bytes: m.n of a key-derived
+					// mapper is a length, not the key.
+					return "", false
+				}
 			}
 		}
 		return env.exprTaint(f, x.X)
@@ -532,13 +576,15 @@ func (env *taintEnv) callTaint(f taintFact, call *ast.CallExpr) (string, bool) {
 }
 
 // checkSinks inspects one CFG node for sink reaches with the fact that
-// holds on entry to the node. Function-literal bodies are their own
-// units; goroutine argument expressions ARE evaluated here, so go/defer
-// statements are inspected too.
+// holds on entry to the node. Function-literal bodies are checked by
+// recursion with the current fact (checkFuncLit) — captured key material
+// must not escape through a closure; goroutine argument expressions ARE
+// evaluated here, so go/defer statements are inspected too.
 func (env *taintEnv) checkSinks(f taintFact, n ast.Node, r *Reporter) {
 	ast.Inspect(n, func(x ast.Node) bool {
 		switch node := x.(type) {
 		case *ast.FuncLit:
+			env.checkFuncLit(f, node, r)
 			return false
 		case *ast.CallExpr:
 			env.checkSinkCall(f, node, r)

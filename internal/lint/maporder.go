@@ -44,6 +44,7 @@ var mapOrderScope = []string{
 var journalWriteMethods = map[string]bool{
 	"Append": true, "AppendNoSync": true, "Compact": true,
 	"logEvent": true, "logEventDurable": true, "logEventAdvisory": true,
+	"logFragmentDurable": true,
 }
 
 func (MapOrder) Run(pkg *Package, r *Reporter) {
@@ -196,7 +197,7 @@ func declaredOutside(pkg *Package, expr ast.Expr, rng *ast.RangeStmt) bool {
 // journal package here).
 func isJournalWrite(pkg *Package, sel *ast.SelectorExpr) bool {
 	name := sel.Sel.Name
-	if name == "logEvent" || name == "logEventDurable" || name == "logEventAdvisory" {
+	if name == "logEvent" || name == "logEventDurable" || name == "logEventAdvisory" || name == "logFragmentDurable" {
 		return true
 	}
 	s, ok := pkg.Info.Selections[sel]

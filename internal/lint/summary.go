@@ -38,6 +38,14 @@ type funcUnit struct {
 	decl *ast.FuncDecl // non-nil iff a declaration
 	lit  *ast.FuncLit  // non-nil iff a literal
 	obj  *types.Func   // nil for literals
+
+	// parent is the innermost enclosing unit of a function literal (nil
+	// for declarations and free-standing literals, e.g. package-level var
+	// initializers). Analyzers that recurse into literals from the
+	// enclosing body — keytaint checks closures with the captured-variable
+	// taint that holds at their creation point — skip parented units to
+	// avoid analyzing the same body twice.
+	parent *funcUnit
 }
 
 func (u *funcUnit) body() *ast.BlockStmt {
@@ -47,6 +55,13 @@ func (u *funcUnit) body() *ast.BlockStmt {
 	return u.lit.Body
 }
 
+func (u *funcUnit) node() ast.Node {
+	if u.decl != nil {
+		return u.decl
+	}
+	return u.lit
+}
+
 func (u *funcUnit) ftype() *ast.FuncType {
 	if u.decl != nil {
 		return u.decl.Type
@@ -54,21 +69,43 @@ func (u *funcUnit) ftype() *ast.FuncType {
 	return u.lit.Type
 }
 
-// funcUnits returns every function body in the package: declarations
-// first (source order), then literals. Literals are their own units —
-// they are opaque in the enclosing function's CFG.
+// funcUnits returns every function body in the package in source order.
+// Literals are their own units — they are opaque in the enclosing
+// function's CFG — but carry a parent link to the unit that lexically
+// encloses them, maintained with a traversal stack (ast.Inspect calls the
+// callback with nil after a node's children, which is when the stack
+// pops).
 func funcUnits(pkg *Package) []*funcUnit {
 	var units []*funcUnit
 	for _, file := range pkg.Files {
+		var nodes []ast.Node // traversal stack
+		var open []*funcUnit // enclosing units, innermost last
 		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				top := nodes[len(nodes)-1]
+				nodes = nodes[:len(nodes)-1]
+				if len(open) > 0 && open[len(open)-1].node() == top {
+					open = open[:len(open)-1]
+				}
+				return true
+			}
+			nodes = append(nodes, n)
+			var u *funcUnit
 			switch x := n.(type) {
 			case *ast.FuncDecl:
 				if x.Body != nil {
 					obj, _ := pkg.Info.Defs[x.Name].(*types.Func)
-					units = append(units, &funcUnit{pkg: pkg, decl: x, obj: obj})
+					u = &funcUnit{pkg: pkg, decl: x, obj: obj}
 				}
 			case *ast.FuncLit:
-				units = append(units, &funcUnit{pkg: pkg, lit: x})
+				u = &funcUnit{pkg: pkg, lit: x}
+				if len(open) > 0 {
+					u.parent = open[len(open)-1]
+				}
+			}
+			if u != nil {
+				units = append(units, u)
+				open = append(open, u)
 			}
 			return true
 		})
@@ -111,10 +148,10 @@ const journalPath = "deta/internal/journal"
 // defining package of the resolved callee object (so interface methods
 // like net.Conn.Read match without receiver gymnastics).
 var netVerbs = map[string]map[string]bool{
-	"net": {"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true, "Accept": true},
+	"net":        {"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true, "Accept": true},
 	"crypto/tls": {"Read": true, "Write": true, "Handshake": true, "HandshakeContext": true},
-	"io":    {"ReadFull": true, "ReadAtLeast": true, "Copy": true, "CopyN": true, "CopyBuffer": true},
-	"bufio": {"Flush": true, "Read": true},
+	"io":         {"ReadFull": true, "ReadAtLeast": true, "Copy": true, "CopyN": true, "CopyBuffer": true},
+	"bufio":      {"Flush": true, "Read": true},
 	// Hardcoded so fixture packages (which see transport api-only) and
 	// single-package runs still classify transport calls correctly.
 	"deta/internal/transport": {

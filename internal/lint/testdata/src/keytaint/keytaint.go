@@ -144,3 +144,77 @@ func goodPermKeyResp(master []byte) PermKeyResp {
 func goodCleanWire(update []byte) UploadReq {
 	return UploadReq{Party: "p2", Payload: update}
 }
+
+// keyed holds key material next to plain metadata.
+type keyed struct {
+	n int
+	k []byte
+}
+
+func newKeyed(master []byte) *keyed {
+	return &keyed{n: 32, k: rng.DeriveSeed(master)}
+}
+
+// goodNonCarrierField: a numeric field of a key-derived struct is a
+// length, not the key — base taint must not bleed through it.
+func goodNonCarrierField(master []byte) error {
+	d := newKeyed(master)
+	return fmt.Errorf("keyed holds %d bytes", d.n)
+}
+
+// badCarrierField: the byte-slice field of the same struct IS the key.
+func badCarrierField(master []byte) error {
+	d := newKeyed(master)
+	return fmt.Errorf("keyed state %x", d.k) // want keytaint
+}
+
+// badClosureLaunder launders the key through a returned closure: the
+// literal captures the tainted seed, so the sink inside its body fires
+// even though the enclosing function never touches a sink itself.
+func badClosureLaunder(master []byte) func() {
+	seed := rng.DeriveSeed(master)
+	return func() {
+		log.Printf("deferred seed %x", seed) // want keytaint
+	}
+}
+
+// badClosureGo leaks through a goroutine body — the classic fire-and-
+// forget logging closure.
+func badClosureGo(master []byte) {
+	seed := rng.DeriveSeed(master)
+	go func() {
+		fmt.Printf("worker seed %x\n", seed) // want keytaint
+	}()
+}
+
+// badClosureNested: two literals deep; the recursion carries the captured
+// fact through both.
+func badClosureNested(master []byte) func() func() error {
+	seed := rng.DeriveSeed(master)
+	return func() func() error {
+		return func() error {
+			return errors.New(string(seed)) // want keytaint
+		}
+	}
+}
+
+// goodClosureClean: the closure captures nothing tainted and logs a
+// sanitized digest; no report.
+func goodClosureClean(master []byte) func() {
+	fp := rng.Fingerprint(rng.DeriveSeed(master))
+	return func() {
+		log.Printf("seed fp=%s", fp)
+	}
+}
+
+// goodClosureSanitized: the tainted variable is strongly updated to a
+// clean value BEFORE the literal is created, so the closure captures the
+// sanitized state — the creation-point fact, not a whole-function union,
+// seeds the closure body.
+func goodClosureSanitized(master []byte) func() {
+	s := string(rng.DeriveSeed(master))
+	s = rng.Fingerprint([]byte("clean"))
+	return func() {
+		log.Printf("state %s", s)
+	}
+}

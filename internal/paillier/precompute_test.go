@@ -1,0 +1,193 @@
+package paillier
+
+import (
+	"math/big"
+	"testing"
+)
+
+// precompute_test.go proves the fast paths introduced by Precompute — CRT
+// decryption and fixed-base windowed encryption — are drop-in equivalent
+// to the legacy single-modulus/full-exponentiation paths: same plaintexts,
+// same homomorphic behavior, and a key without Precompute keeps working.
+
+// legacyKey strips the precomputed state from sk, forcing the original
+// Lambda/Mu decryption and full-exponentiation encryption paths.
+func legacyKey(sk *PrivateKey) *PrivateKey {
+	cp := *sk
+	cp.crt = nil
+	cp.fb = nil
+	return &cp
+}
+
+func TestCRTDecryptMatchesLegacy(t *testing.T) {
+	sk, err := GenerateKey(testBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.crt == nil {
+		t.Fatal("GenerateKey did not precompute CRT constants")
+	}
+	slow := legacyKey(sk)
+	for _, m := range []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(424242),
+		new(big.Int).Sub(sk.N, big.NewInt(1)), // N-1: the edge of the range
+		new(big.Int).Rsh(sk.N, 1),             // mid-range
+	} {
+		ct, err := sk.Encrypt(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := sk.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		legacy, err := slow.Decrypt(ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.Cmp(legacy) != 0 {
+			t.Fatalf("m=%v: CRT decrypt %v, legacy decrypt %v", m, fast, legacy)
+		}
+		if fast.Cmp(m) != 0 {
+			t.Fatalf("m=%v: decrypted to %v", m, fast)
+		}
+	}
+}
+
+// TestFixedBaseEncryptInteroperates: ciphertexts from the fixed-base
+// encoder must decrypt on both decryption paths and compose homomorphically
+// with legacy-encrypted ciphertexts — the two optimizations are
+// independent and wire-compatible.
+func TestFixedBaseEncryptInteroperates(t *testing.T) {
+	sk, err := GenerateKey(testBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.fb == nil {
+		t.Fatal("GenerateKey did not precompute the fixed-base table")
+	}
+	slow := legacyKey(sk)
+
+	a, b := big.NewInt(1234), big.NewInt(8765)
+	ctFast, err := sk.Encrypt(a) // fixed-base blinding
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctSlow, err := slow.Encrypt(b) // full-exponentiation blinding
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sk.Add(ctFast, ctSlow)
+	for name, dec := range map[string]*PrivateKey{"crt": sk, "legacy": slow} {
+		got, err := dec.Decrypt(sum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := new(big.Int).Add(a, b); got.Cmp(want) != 0 {
+			t.Fatalf("%s decrypt of mixed-path sum: got %v want %v", name, got, want)
+		}
+	}
+}
+
+// TestFixedBaseEncryptionStaysRandomized: the fixed-base blinding must
+// still draw a fresh random exponent per encryption — two encryptions of
+// one plaintext may never share a ciphertext.
+func TestFixedBaseEncryptionStaysRandomized(t *testing.T) {
+	sk, err := GenerateKey(testBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := big.NewInt(7)
+	c1, err := sk.Encrypt(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := sk.Encrypt(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.C.Cmp(c2.C) == 0 {
+		t.Fatal("fixed-base encryption produced identical ciphertexts")
+	}
+}
+
+// TestPrecomputeRebuild: a key reconstructed from its stored fields (as a
+// daemon loading persisted key material would) regains both fast paths
+// from an explicit Precompute call, and works without one.
+func TestPrecomputeRebuild(t *testing.T) {
+	sk, err := GenerateKey(testBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt := &PrivateKey{
+		PublicKey: PublicKey{N: sk.N, N2: sk.N2, G: sk.G},
+		Lambda:    sk.Lambda,
+		Mu:        sk.Mu,
+		P:         sk.P,
+		Q:         sk.Q,
+	}
+	m := big.NewInt(31337)
+	// Before Precompute: legacy paths only, still correct.
+	ct, err := rebuilt.Encrypt(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rebuilt.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(m) != 0 {
+		t.Fatalf("un-precomputed key round trip: got %v want %v", got, m)
+	}
+	if err := rebuilt.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.crt == nil || rebuilt.fb == nil {
+		t.Fatal("Precompute left fast-path state unset")
+	}
+	got, err = rebuilt.Decrypt(ct) // CRT path on a legacy-blinded ciphertext
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(m) != 0 {
+		t.Fatalf("precomputed key decrypt: got %v want %v", got, m)
+	}
+}
+
+// TestPrecomputeWithoutFactors: a public-key-only or P/Q-less private key
+// still precomputes the encryption table; decryption keeps the legacy
+// path.
+func TestPrecomputeWithoutFactors(t *testing.T) {
+	sk, err := GenerateKey(testBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := &PrivateKey{
+		PublicKey: PublicKey{N: sk.N, N2: sk.N2, G: sk.G},
+		Lambda:    sk.Lambda,
+		Mu:        sk.Mu,
+	}
+	if err := partial.Precompute(); err != nil {
+		t.Fatal(err)
+	}
+	if partial.crt != nil {
+		t.Fatal("CRT constants derived without P and Q")
+	}
+	if partial.fb == nil {
+		t.Fatal("fixed-base table not built")
+	}
+	m := big.NewInt(99)
+	ct, err := partial.Encrypt(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := partial.Decrypt(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(m) != 0 {
+		t.Fatalf("partial key round trip: got %v want %v", got, m)
+	}
+}

@@ -85,6 +85,13 @@ func Compare(base, fresh []Result, th Thresholds) []Delta {
 		switch {
 		case b.Ignore || f.Ignore || th.Ignore[b.Bench]:
 			d.Ignored = true
+		case b.NsPerOp <= 0:
+			// A coarse-clock CI host can record a 0 ns/op baseline; a
+			// percentage against it is garbage (division by zero), so the
+			// bench is surfaced as ignored-with-warning instead of either
+			// NaN output or a silent never-gates pass.
+			d.Ignored = true
+			d.Reason = "baseline records 0 ns/op (coarse clock?); not gated — re-baseline to track"
 		case d.NsPct > th.MaxNsPct && f.NsPerOp-b.NsPerOp >= th.MinNsDelta:
 			d.Regressed = true
 			d.Reason = fmt.Sprintf("ns/op +%.1f%% exceeds +%.0f%%", d.NsPct, th.MaxNsPct)
@@ -126,6 +133,8 @@ func RenderDeltas(w io.Writer, area string, deltas []Delta) {
 			verdict = "REGRESSED: " + d.Reason
 		case d.Ignored && d.Missing:
 			verdict = "ignored (missing)"
+		case d.Ignored && d.Reason != "":
+			verdict = "ignored (" + d.Reason + ")"
 		case d.Ignored:
 			verdict = "ignored"
 		case d.New:

@@ -2,6 +2,7 @@ package perf
 
 import (
 	"bytes"
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -140,11 +141,58 @@ func TestCompareCallerExemption(t *testing.T) {
 	if n := Regressions(deltas); n != 0 {
 		t.Fatalf("exempted benches still gated: %+v", deltas)
 	}
-	// Missing + exempt: reported, not gating.
+	// Missing + exempt: reported, not gating. (fix/Coarse needs an explicit
+	// entry here: a zero-ns baseline is only auto-ignored when the bench is
+	// present — a missing bench still demands a deliberate re-baseline.)
 	deltas = Compare(base.Results, nil, Thresholds{MaxNsPct: 30, MinNsDelta: 50,
-		Ignore: map[string]bool{"fix/Fast": true, "fix/Slow": true, "fix/Fsync": true, "fix/Tiny": true}})
+		Ignore: map[string]bool{"fix/Fast": true, "fix/Slow": true, "fix/Fsync": true, "fix/Tiny": true, "fix/Coarse": true}})
 	if n := Regressions(deltas); n != 0 {
 		t.Fatalf("exempt missing benches gated: %+v", deltas)
+	}
+}
+
+// TestCompareZeroBaseline: a 0 ns/op baseline entry (coarse-clock CI
+// host) must neither gate nor emit a NaN/Inf percentage — it is surfaced
+// as ignored with an explanatory warning, and the fix is re-baselining.
+// Regression test: the comparator used to divide by the baseline ns/op
+// unconditionally.
+func TestCompareZeroBaseline(t *testing.T) {
+	base := loadFixture(t)
+	// Even a wild fresh value must not gate against a zero baseline.
+	fresh := append([]Result(nil), base.Results...)
+	for i := range fresh {
+		if fresh[i].Bench == "fix/Coarse" {
+			fresh[i].NsPerOp = 1e9
+		}
+	}
+	deltas := Compare(base.Results, fresh, DefaultThresholds())
+	coarse := findDelta(t, deltas, "fix/Coarse")
+	if coarse.Regressed {
+		t.Fatalf("zero-ns baseline gated: %+v", coarse)
+	}
+	if !coarse.Ignored || !strings.Contains(coarse.Reason, "0 ns/op") {
+		t.Fatalf("zero-ns baseline not surfaced as ignored-with-warning: %+v", coarse)
+	}
+	if math.IsNaN(coarse.NsPct) || math.IsInf(coarse.NsPct, 0) {
+		t.Fatalf("zero-ns baseline produced non-finite percentage: %v", coarse.NsPct)
+	}
+	// The rendered table must carry the warning so a CI reader sees why the
+	// bench never gates.
+	var buf bytes.Buffer
+	RenderDeltas(&buf, "fixture", deltas)
+	if !strings.Contains(buf.String(), "ignored (baseline records 0 ns/op") {
+		t.Fatalf("delta table hides the zero-baseline warning:\n%s", buf.String())
+	}
+	// An allocs regression on a zero-ns bench stays ungated too: without a
+	// trustworthy baseline, any verdict is noise.
+	for i := range fresh {
+		if fresh[i].Bench == "fix/Coarse" {
+			fresh[i].AllocsPerOp += 50
+		}
+	}
+	deltas = Compare(base.Results, fresh, DefaultThresholds())
+	if d := findDelta(t, deltas, "fix/Coarse"); d.Regressed {
+		t.Fatalf("zero-ns baseline gated on allocs: %+v", d)
 	}
 }
 

@@ -1,0 +1,38 @@
+package tensor
+
+// pool.go: sync.Pool-backed reusable Vector buffers for the hot
+// data-plane paths (wire-codec decode, the fused transform gather). The
+// pool trades a small bookkeeping cost for eliminating the per-message
+// float64-slab allocation that dominated the gob-era upload path.
+
+import "sync"
+
+// vecPool holds *Vector so Get/Put avoid boxing a fresh slice header
+// allocation on every cycle.
+var vecPool sync.Pool
+
+// GetVector returns a Vector of length n, reusing pooled backing storage
+// when a large-enough buffer is available. The contents are NOT zeroed:
+// callers must overwrite every element (the codec decode and the fused
+// transform both do). Pass the buffer to PutVector when its lifetime
+// ends; keeping it forever is also fine — the pool is best-effort.
+func GetVector(n int) Vector {
+	if p, ok := vecPool.Get().(*Vector); ok {
+		if cap(*p) >= n {
+			return (*p)[:n]
+		}
+		// Too small for this request; drop it and let GC reclaim.
+	}
+	return make(Vector, n)
+}
+
+// PutVector returns v's backing storage to the pool. The caller must not
+// touch v afterwards: any retained alias would race with the next
+// GetVector user. Nil and zero-capacity vectors are ignored.
+func PutVector(v Vector) {
+	if cap(v) == 0 {
+		return
+	}
+	v = v[:cap(v)]
+	vecPool.Put(&v)
+}

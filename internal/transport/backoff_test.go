@@ -28,7 +28,7 @@ func TestDelayStaysWithinEnvelope(t *testing.T) {
 		{}, // zero value: 50ms initial, 2s cap, factor 2, jitter 0.2
 		{Initial: time.Millisecond, Max: 64 * time.Millisecond},
 		{Initial: 10 * time.Millisecond, Max: time.Second, Factor: 3, Jitter: 0.5},
-		{Initial: 5 * time.Millisecond, Max: 5 * time.Millisecond}, // cap == base
+		{Initial: 5 * time.Millisecond, Max: 5 * time.Millisecond},         // cap == base
 		{Initial: time.Millisecond, Max: 32 * time.Millisecond, Jitter: 7}, // clamped to 1
 	}
 	for si, b := range schedules {

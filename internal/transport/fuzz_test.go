@@ -60,6 +60,13 @@ func FuzzFrameGarbage(f *testing.F) {
 	f.Add(frameWithLength(1<<28+1, nil))                            // just over MaxFrame
 	f.Add(frameWithLength(5, []byte{0x01, 0x02, 0x03, 0x04, 0x05})) // garbage gob, honest length
 	f.Add([]byte{0, 0, 0, 0})                                       // empty body: gob EOF
+	// Hostile-but-legal length prefixes: within MaxFrame, so the reader
+	// enters the chunked body path, but the body never arrives. The
+	// chunked allocator must pay at most its 64KiB seed before the read
+	// starves — a 256MiB up-front make here would be a trivial memory DoS.
+	f.Add(frameWithLength(1<<28, nil))                             // exactly MaxFrame, zero bytes follow
+	f.Add(frameWithLength(1<<27, []byte("tiny")))                  // huge promise, 4 bytes arrive
+	f.Add(frameWithLength(1<<20, bytes.Repeat([]byte{0xAA}, 100))) // 1MiB promise, 100 arrive
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		var req request
 		err := readFrame(bytes.NewReader(raw), &req) // must not panic

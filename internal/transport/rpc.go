@@ -6,7 +6,9 @@
 //
 // Frame format: 4-byte big-endian length, then a gob-encoded envelope.
 // Requests carry a method name and an opaque body; responses carry a body
-// or an error string.
+// or an error string. Bodies themselves are encoded by a Codec (see
+// codec.go): fixed-layout binary for data-plane fragment messages, gob
+// for the control plane.
 //
 // Concurrency: one Client multiplexes any number of concurrent Calls over
 // its single connection — requests are pipelined by a writer goroutine and
@@ -28,6 +30,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // MaxFrame bounds a single message (guards against corrupt length
@@ -50,9 +53,16 @@ type response struct {
 	Err  string
 }
 
+// frameBufPool recycles the per-frame encode buffers: a frame is fully
+// written to the connection before writeFrame returns, so the buffer's
+// lifetime is exactly one call.
+var frameBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeFrame(w io.Writer, v any) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := frameBufPool.Get().(*bytes.Buffer)
+	defer frameBufPool.Put(buf)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
 		return err
 	}
 	if buf.Len() > MaxFrame {
@@ -76,11 +86,47 @@ func readFrame(r io.Reader, v any) error {
 	if n > MaxFrame {
 		return fmt.Errorf("transport: incoming frame of %d bytes exceeds limit", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	body, err := readBody(r, int(n))
+	if err != nil {
 		return err
 	}
 	return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
+}
+
+// readBody reads an n-byte frame body, growing the buffer geometrically
+// as bytes actually arrive instead of trusting the length prefix up
+// front. MaxFrame bounds n, but even a prefix just under the bound from
+// a hostile or corrupt peer can then cost at most one 64 KiB buffer
+// before the read starves and fails — never an up-front multi-hundred-MiB
+// allocation. Applies identically whether the body carries a gob envelope
+// or a fixed-layout codec payload.
+func readBody(r io.Reader, n int) ([]byte, error) {
+	const seed = 64 << 10
+	if n <= seed {
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, err
+		}
+		return body, nil
+	}
+	body := make([]byte, seed)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	for len(body) < n {
+		next := 2 * len(body)
+		if next > n {
+			next = n
+		}
+		grown := make([]byte, next)
+		copy(grown, body)
+		read := len(body)
+		body = grown
+		if _, err := io.ReadFull(r, body[read:]); err != nil {
+			return nil, err
+		}
+	}
+	return body, nil
 }
 
 // Handler processes one request body and returns a response body.
@@ -228,18 +274,35 @@ func (e *RemoteError) Error() string {
 	return fmt.Sprintf("transport: remote %s: %s", e.Method, e.Msg)
 }
 
-// Encode gob-encodes v for use as a request or response body.
+// legacyWire forces the gob codec for messages that would otherwise use
+// the fixed-layout binary encoding (daemon flag -wire gob, for rollback
+// against peers predating the codec). Decoding always sniffs, so a mixed
+// fleet interoperates in both modes.
+var legacyWire atomic.Bool
+
+// SetBinaryWire enables (default) or disables the fixed-layout binary
+// codec on the encode side. Decoders are unaffected: they accept both
+// encodings by sniffing the codec magic.
+func SetBinaryWire(enabled bool) { legacyWire.Store(!enabled) }
+
+// Encode encodes v for use as a request or response body: fixed-layout
+// binary for data-plane messages implementing WireAppender (unless
+// disabled via SetBinaryWire), gob for everything else.
 func Encode(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, err
+	if wa, ok := v.(WireAppender); ok && !legacyWire.Load() {
+		return wa.AppendWire(nil)
 	}
-	return buf.Bytes(), nil
+	return Gob.Encode(v)
 }
 
-// Decode gob-decodes body into v.
+// Decode decodes body into v. Messages implementing WireDecoder accept
+// both encodings: the codec magic selects fixed-layout binary, anything
+// else falls back to gob (legacy peers, -wire gob senders).
 func Decode(body []byte, v any) error {
-	return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
+	if wd, ok := v.(WireDecoder); ok && IsWire(body) {
+		return wd.DecodeWire(body)
+	}
+	return Gob.Decode(body, v)
 }
 
 // HandleTyped registers a handler taking and returning gob-encoded values.

@@ -21,8 +21,11 @@ go test -race ./...
 echo "== chaos e2e (fault injection + aggregator kill/restart, -race)"
 go test -race -count=1 -run 'TestChaosRestartBitIdenticalModel' -v ./internal/core
 
-echo "== perf vs tracked baselines (warn-only: shared machines are noisy)"
-go run ./cmd/deta-bench -perf -perf-baseline . ||
+echo "== perf vs tracked baselines: data-plane areas gate hard"
+go run ./cmd/deta-bench -perf -perf-area core,transport,paillier -perf-baseline .
+
+echo "== perf vs tracked baselines: storage-bound areas (warn-only: fsync is machine-dependent)"
+go run ./cmd/deta-bench -perf -perf-area agg,journal -perf-baseline . ||
 	echo "WARNING: perf regression vs BENCH_*.json baselines (exit $?)." \
 		"Investigate, or refresh with: go run ./cmd/deta-bench -perf -perf-baseline-write"
 
