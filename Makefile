@@ -17,11 +17,13 @@ test:
 race:
 	go test -race ./...
 
-# The chaos end-to-end test: injected drops/delays/severs (fixed seed
-# 0xDE7A) plus two aggregator kill+restarts mid-round; the recovered
-# model must be bit-identical to a fault-free run.
+# The chaos end-to-end tests: injected drops/delays/severs (fixed seed
+# 0xDE7A) plus two aggregator kill+restarts mid-round, and the churn
+# variant (party death + liveness evict + rejoin + aggregator restart);
+# recovered/survivor models must be bit-identical.
 chaos:
 	go test -race -count=1 -run 'TestChaosRestartBitIdenticalModel' -v ./internal/core
+	go test -race -count=1 -run 'TestChaosChurnEvictRejoinBitIdentical' -v ./internal/core
 
 # Journal-overhead benchmarks recorded in EXPERIMENTS.md.
 bench:

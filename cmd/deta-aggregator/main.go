@@ -43,6 +43,9 @@ func main() {
 	retain := flag.Int("retain", 0, "evict aggregated rounds older than N from memory (0 = keep all; the journal stays the durable copy)")
 	noFsync := flag.Bool("journal-no-fsync", false, "skip the per-record journal fsync (survives process crashes only; benchmarking)")
 	wire := flag.String("wire", "binary", "fragment wire codec for responses: binary (fixed-layout) or gob (legacy rollback); requests are sniffed, both always accepted")
+	roundDeadline := flag.Duration("round-deadline", 0, "abandon a round still below quorum after this long, and cut stragglers at it (0 = wait forever, the legacy behavior)")
+	grace := flag.Duration("grace", 2*time.Second, "post-quorum straggler window: a round with quorum seals after min(-grace, remaining -round-deadline); needs -round-deadline")
+	heartbeat := flag.Duration("heartbeat", 0, "expected party heartbeat interval; parties silent for 3x are suspect, for 8x are evicted from membership (journaled; they rejoin on their next signal). 0 = liveness off")
 	flag.Parse()
 
 	log.SetPrefix(fmt.Sprintf("deta-aggregator[%s]: ", *id))
@@ -118,6 +121,18 @@ func main() {
 	if *retain > 0 {
 		node.SetRetention(*retain)
 	}
+	if *roundDeadline > 0 {
+		node.SetLifecycle(*roundDeadline, *grace)
+		log.Printf("round lifecycle armed: deadline %v, grace %v", *roundDeadline, *grace)
+	}
+	if *heartbeat > 0 {
+		// Recovered rounds and parties get a fresh liveness epoch here
+		// (the WAL carries no timestamps), so a restarted aggregator gives
+		// everyone a full window before suspecting anyone.
+		node.SetLiveness(3**heartbeat, 8**heartbeat)
+		go livenessTicker(node, *heartbeat)
+		log.Printf("liveness armed: suspect after %v, evict after %v", 3**heartbeat, 8**heartbeat)
+	}
 	srv := transport.NewServer()
 	core.ServeAggregator(node, srv)
 
@@ -184,6 +199,37 @@ func dialPeers(ctx context.Context, mat *transport.TLSMaterials, spec, tlsName s
 	return out, nil
 }
 
+// livenessTicker drives the liveness reaper: uploads and heartbeats push
+// lastSeen forward, and this timer notices the parties that stopped
+// pushing. Evictions are journaled by the node before taking effect, so a
+// crash right after one replays to the same membership.
+func livenessTicker(node *core.AggregatorNode, interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	// Evictions can also be performed by the reap that runs on every
+	// heartbeat receipt, between ticks; diff the evicted set rather than
+	// relying on Tick's own return so every eviction gets a log line.
+	known := map[string]bool{}
+	for range tick.C {
+		node.Tick()
+		cur := map[string]bool{}
+		var fresh []string
+		for _, p := range node.EvictedParties() {
+			cur[p] = true
+			if !known[p] {
+				fresh = append(fresh, p)
+			}
+		}
+		known = cur
+		if len(fresh) > 0 {
+			log.Printf("liveness: evicted silent parties %v (rejoin on next signal)", fresh)
+		}
+		if suspects := node.Suspects(); len(suspects) > 0 {
+			log.Printf("liveness: suspect parties %v", suspects)
+		}
+	}
+}
+
 // startInitiatorSync polls round completeness and fuses the local node as
 // soon as each round has all uploads; every follower then catches up on
 // its own goroutine, so a slow or dead follower never stalls the healthy
@@ -229,7 +275,17 @@ func startInitiatorSync(node *core.AggregatorNode, followers map[string]*core.Ag
 	go func() {
 		round := startRound
 		for {
-			if node.Complete(round) {
+			complete, abandoned := node.RoundStatus(round)
+			switch {
+			case abandoned:
+				// Deadline passed below quorum: give up on this round and
+				// let followers (whose own lifecycle reached the same
+				// verdict) and parties (typed ErrRoundAbandoned) skip it.
+				latestFused.Store(int64(round))
+				log.Printf("round %d abandoned below quorum; skipping", round)
+				round++
+				continue
+			case complete:
 				if err := node.Aggregate(round); err != nil {
 					log.Printf("round %d: local aggregate: %v", round, err)
 					time.Sleep(20 * time.Millisecond)
@@ -246,12 +302,16 @@ func startInitiatorSync(node *core.AggregatorNode, followers map[string]*core.Ag
 }
 
 // syncFollower waits for the follower to have all uploads, then triggers
-// its fusion; ctx bounds the whole exchange.
+// its fusion; ctx bounds the whole exchange. A round the follower's own
+// lifecycle abandoned is skipped, not re-driven.
 func syncFollower(ctx context.Context, f *core.AggregatorClient, round int) error {
 	for {
-		done, err := f.Complete(ctx, round)
+		done, abandoned, err := f.CompleteStatus(ctx, round)
 		if err != nil {
 			return err
+		}
+		if abandoned {
+			return nil
 		}
 		if done {
 			return f.Aggregate(ctx, round)

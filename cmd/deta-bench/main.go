@@ -6,6 +6,7 @@
 //	deta-bench -exp fig5a                 # one experiment at default scale
 //	deta-bench -exp all -scale fast       # everything, minutes of runtime
 //	deta-bench -exp table1 -attack-images 100 -attack-iters 300
+//	deta-bench -exp churn                 # round-lifecycle churn sweep (abandoned vs degraded)
 //
 //	deta-bench -perf                      # rerun the perf suite, compare to BENCH_*.json
 //	deta-bench -perf -perf-baseline-write # refresh the checked-in baselines

@@ -57,6 +57,7 @@ func main() {
 	roundTimeout := flag.Duration("round-timeout", 5*time.Minute, "deadline for one full round's download phase")
 	aggQuorum := flag.Int("agg-quorum", 0, "minimum aggregators that must answer per round (0 = all); below K degrades, never hangs")
 	keepalive := flag.Duration("keepalive", 0, "aggregator link health-check interval (0 = off)")
+	heartbeat := flag.Duration("heartbeat", 0, "liveness heartbeat interval to every aggregator (match the fleet's -heartbeat; 0 = off)")
 	wire := flag.String("wire", "binary", "fragment wire codec: binary (fixed-layout) or gob (legacy rollback)")
 	flag.Parse()
 
@@ -109,6 +110,14 @@ func main() {
 		log.Fatalf("refusing to train: %v", err)
 	}
 	log.Printf("verified and registered with %d aggregators", fleet.K())
+
+	if *heartbeat > 0 {
+		// Background liveness heartbeats: training (and its long local-
+		// compute stretches) must not read as death to the aggregators'
+		// liveness tracker. A heartbeat also readmits this party anywhere
+		// it was evicted while unreachable.
+		go heartbeatLoop(fleet, *id, *heartbeat)
+	}
 
 	// Key broker: register and fetch the shared permutation key.
 	if err := ap.RegisterParty(ctx, *id); err != nil {
@@ -172,18 +181,33 @@ func main() {
 		if err := retryStep(ctx, *roundTimeout, round, "upload", func(ctx context.Context) error {
 			return fleet.UploadAll(ctx, round, *id, frags, float64(shard.Len()))
 		}); err != nil {
+			if errors.Is(err, core.ErrRoundAbandoned) {
+				log.Printf("round %d: abandoned by the fleet; skipping: %v", round, err)
+				for _, frag := range frags {
+					tensor.PutVector(frag)
+				}
+				continue
+			}
 			log.Fatalf("round %d: upload: %v", round, err)
 		}
 		// Download aggregated fragments in parallel (the initiator fuses
 		// once enough parties upload; DownloadAll polls until available).
 		// An aggregator lost this round degrades to the party's own
-		// fragment for its partition.
+		// fragment for its partition; a round the whole fleet abandoned
+		// is skipped, leaving the global model unchanged.
 		var merged []tensor.Vector
 		if err := retryStep(ctx, *roundTimeout, round, "download", func(ctx context.Context) error {
 			var derr error
 			merged, derr = fleet.DownloadAll(ctx, round, *id, frags)
 			return derr
 		}); err != nil {
+			if errors.Is(err, core.ErrRoundAbandoned) {
+				log.Printf("round %d: abandoned by the fleet; skipping: %v", round, err)
+				for _, frag := range frags {
+					tensor.PutVector(frag)
+				}
+				continue
+			}
 			log.Fatalf("round %d: download: %v", round, err)
 		}
 		global, err = core.InverseTransform(mapper, shuffler, merged, roundID, !*noShuffle)
@@ -221,11 +245,33 @@ func retryStep(ctx context.Context, timeout time.Duration, round int, what strin
 		if errors.Is(last, core.ErrVerificationFailed) {
 			return last
 		}
+		if errors.Is(last, core.ErrRoundAbandoned) {
+			// The fleet gave up on this round below quorum; retrying
+			// cannot resurrect it — the round loop skips it instead.
+			return last
+		}
 		log.Printf("round %d: %s failed (retrying): %v", round, what, last)
 		select {
 		case <-rctx.Done():
 			return fmt.Errorf("%s: %w (last error: %v)", what, rctx.Err(), last)
 		case <-time.After(b.Delay(i)):
+		}
+	}
+}
+
+// heartbeatLoop keeps this party alive in every aggregator's liveness
+// tracker while it trains. Best-effort fan-out: silence toward an
+// unreachable aggregator is exactly what its tracker should observe.
+func heartbeatLoop(fleet *core.Fleet, id string, interval time.Duration) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for range tick.C {
+		acked, rejoinedAt := fleet.HeartbeatAll(context.Background(), id)
+		if len(rejoinedAt) > 0 {
+			log.Printf("heartbeat: rejoined at %v", rejoinedAt)
+		}
+		if acked == 0 {
+			log.Printf("heartbeat: no aggregator reachable")
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"deta/internal/agg"
 	"deta/internal/attest"
@@ -55,12 +56,39 @@ type AggregatorNode struct {
 	// compactEvery bounds the journal tail before a snapshot+truncate
 	// compaction (0 = default).
 	compactEvery int
+
+	// clock is the injected time source for the round lifecycle and
+	// liveness tracker (nil = SystemClock); see lifecycle.go.
+	clock Clock
+	// deadline/grace drive the per-round state machine (SetLifecycle);
+	// deadline <= 0 disables it.
+	deadline time.Duration
+	grace    time.Duration
+	// suspectAfter/evictAfter are the liveness thresholds (SetLiveness);
+	// evictAfter <= 0 disables eviction.
+	suspectAfter time.Duration
+	evictAfter   time.Duration
+	// lastSeen records each registered party's latest liveness signal
+	// (upload, register, heartbeat). Ephemeral: never journaled, reset to
+	// the recovery instant after a restart.
+	lastSeen map[string]time.Time
+	// evicted marks parties removed for silence (recEvict) and not yet
+	// readmitted (recRejoin); it survives recovery via the journal.
+	evicted map[string]bool
 }
 
 type roundState struct {
 	fragments  map[string]tensor.Vector
 	weights    map[string]float64
 	aggregated tensor.Vector
+
+	// openedAt is when this node first saw the round (zero for rounds that
+	// predate lifecycle configuration — restampLocked stamps them);
+	// quorumAt is when the upload count first met the requirement. Both
+	// are in-memory only: the WAL stays timestamp-free so replay is
+	// bit-identical whenever it runs.
+	openedAt time.Time
+	quorumAt time.Time
 }
 
 // Aggregator-node errors.
@@ -92,6 +120,8 @@ func NewAggregatorNode(id string, algorithm agg.Algorithm, cvm *sev.CVM) (*Aggre
 		token:     token,
 		parties:   make(map[string]bool),
 		rounds:    make(map[int]*roundState),
+		lastSeen:  make(map[string]time.Time),
+		evicted:   make(map[string]bool),
 	}, nil
 }
 
@@ -103,18 +133,25 @@ func (a *AggregatorNode) SignChallenge(nonce []byte) ([]byte, error) {
 
 // Register admits a party to the training. Registering an already-admitted
 // party is a no-op, so parties may safely re-register after reconnecting
-// to a restarted aggregator.
+// to a restarted aggregator. A previously evicted party re-registering is
+// readmitted (journaled as recRejoin).
 func (a *AggregatorNode) Register(partyID string) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.parties[partyID] {
+		a.lastSeen[partyID] = a.nowLocked()
 		return
 	}
-	// Best-effort journaling: a lost register record is self-healing
-	// (uploads imply registration on replay, and parties re-register on
-	// reconnect), so registration does not fail on journal errors.
-	a.logEvent(recRegister, walEvent{Party: partyID})
-	a.parties[partyID] = true
+	if a.evicted[partyID] {
+		a.rejoinLocked(partyID)
+	} else {
+		// Best-effort journaling: a lost register record is self-healing
+		// (uploads imply registration on replay, and parties re-register on
+		// reconnect), so registration does not fail on journal errors.
+		a.logEvent(recRegister, walEvent{Party: partyID})
+		a.parties[partyID] = true
+	}
+	a.lastSeen[partyID] = a.nowLocked()
 	a.maybeCompactLocked()
 }
 
@@ -166,19 +203,37 @@ func (a *AggregatorNode) UploadOwned(round int, partyID string, frag tensor.Vect
 func (a *AggregatorNode) upload(round int, partyID string, frag tensor.Vector, weight float64, owned bool) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	now := a.nowLocked()
+	if a.evicted[partyID] {
+		// A returning party's first upload readmits it — the same
+		// journaled transition a heartbeat or re-registration takes.
+		a.rejoinLocked(partyID)
+	}
 	if !a.parties[partyID] {
 		return fmt.Errorf("%w: %q", ErrNotRegistered, partyID)
 	}
+	a.lastSeen[partyID] = now
 	rs, ok := a.rounds[round]
 	if !ok {
 		rs = newRoundState()
+		rs.openedAt = now
 		a.rounds[round] = rs
 	}
 	if prev, dup := rs.fragments[partyID]; dup {
+		// Identical retries stay idempotent even after the round seals, so
+		// a party that hit an ambiguous failure pre-seal can still confirm.
 		if fragEqual(prev, frag) && rs.weights[partyID] == weight {
 			return nil // identical retry: already committed
 		}
 		return fmt.Errorf("%w %d from %q", ErrDuplicateUpload, round, partyID)
+	}
+	if a.lifecycleOnLocked(rs) {
+		switch ph := a.phaseLocked(rs, now); ph {
+		case PhaseAbandoned:
+			return fmt.Errorf("%w: round %d", ErrRoundAbandoned, round)
+		case PhaseSealed, PhaseFused:
+			return fmt.Errorf("%w: round %d is %s", ErrStragglerCut, round, ph)
+		}
 	}
 	if err := a.logFragmentDurable(recUpload2, partyID, round, frag, weight); err != nil {
 		if !ok {
@@ -191,6 +246,7 @@ func (a *AggregatorNode) upload(round int, partyID string, frag tensor.Vector, w
 	}
 	rs.fragments[partyID] = frag
 	rs.weights[partyID] = weight
+	a.refreshQuorumLocked(rs, now)
 	a.maybeCompactLocked()
 	return nil
 }
@@ -239,13 +295,14 @@ func (a *AggregatorNode) required() int {
 	return len(a.parties)
 }
 
-// Complete reports whether enough parties have uploaded for round (all
-// registered parties, or the configured quorum).
+// Complete reports whether the round is ready to fuse: with a lifecycle
+// configured (SetLifecycle), that means the round has sealed — quorum met
+// and the grace window (or deadline, or full participation) reached;
+// without one, simply that enough parties have uploaded (all registered
+// parties, or the configured quorum).
 func (a *AggregatorNode) Complete(round int) bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	rs, ok := a.rounds[round]
-	return ok && len(rs.fragments) >= a.required()
+	done, _ := a.RoundStatus(round)
+	return done
 }
 
 // Aggregate fuses the round's fragments with the node's algorithm. Called
@@ -260,6 +317,13 @@ func (a *AggregatorNode) Aggregate(round int) error {
 	rs, ok := a.rounds[round]
 	if ok && rs.aggregated != nil {
 		return nil // idempotent re-sync after an initiator or node restart
+	}
+	// Aggregate fuses as soon as the quorum *count* is met — it does not
+	// wait out the grace window (Complete/RoundStatus is where grace
+	// gates): the explicit call is the initiator's decision to cut
+	// stragglers now, and the in-process Session drives it directly.
+	if ok && a.phaseLocked(rs, a.nowLocked()) == PhaseAbandoned {
+		return fmt.Errorf("%w: round %d has %d/%d uploads", ErrRoundAbandoned, round, len(rs.fragments), a.required())
 	}
 	if !ok || len(rs.fragments) < a.required() {
 		return fmt.Errorf("%w: round %d has %d/%d uploads", ErrRoundIncomplete, round, uploadCount(rs), a.required())
@@ -307,6 +371,11 @@ func (a *AggregatorNode) Download(round int, partyID string) (tensor.Vector, err
 	}
 	rs, ok := a.rounds[round]
 	if !ok || rs.aggregated == nil {
+		// Distinguish "not yet" from "never": pollers stop waiting on an
+		// abandoned round instead of burning their whole deadline.
+		if ok && a.phaseLocked(rs, a.nowLocked()) == PhaseAbandoned {
+			return nil, fmt.Errorf("%w: round %d", ErrRoundAbandoned, round)
+		}
 		return nil, fmt.Errorf("%w: round %d", ErrNotAggregated, round)
 	}
 	// Advisory fetch-served record (no fsync: its loss is harmless); it

@@ -38,6 +38,11 @@ type chaosAgg struct {
 	proxy  *attest.Proxy
 	vendor *sev.Vendor
 
+	// configure, when non-nil, is re-applied to every recovered node —
+	// lifecycle/liveness settings and clocks are boot flags, not journal
+	// state, so a restarted process must re-arm them.
+	configure func(*AggregatorNode)
+
 	mu   sync.Mutex
 	gen  int
 	node *AggregatorNode
@@ -63,6 +68,9 @@ func (c *chaosAgg) start() error {
 	node, _, err := RecoverAggregatorNode(c.id, agg.IterativeAverage{}, cvm, c.dir, journal.Options{})
 	if err != nil {
 		return err
+	}
+	if c.configure != nil {
+		c.configure(node)
 	}
 	srv := transport.NewServer()
 	ServeAggregator(node, srv)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -69,6 +70,10 @@ type Fleet struct {
 	// finish one is picked up within milliseconds. Zero-value fields
 	// default to 2ms initial delay, 250ms cap, factor 2, ±20% jitter.
 	Poll transport.Backoff
+
+	// Clock schedules the poll waits (nil = SystemClock); tests inject a
+	// FakeClock so polling is deterministic.
+	Clock Clock
 }
 
 // NewFleet bundles clients with the deployment's Options: AggQuorum and
@@ -92,6 +97,13 @@ func (f *Fleet) callCtx(ctx context.Context) (context.Context, context.CancelFun
 		return context.WithTimeout(ctx, f.Timeout)
 	}
 	return context.WithCancel(ctx)
+}
+
+func (f *Fleet) clk() Clock {
+	if f.Clock != nil {
+		return f.Clock
+	}
+	return SystemClock
 }
 
 func (f *Fleet) pollBackoff() transport.Backoff {
@@ -175,12 +187,12 @@ func (f *Fleet) UploadAll(ctx context.Context, round int, partyID string, frags 
 	if len(frags) != len(f.Clients) {
 		return fmt.Errorf("core: %d fragments for %d aggregators", len(frags), len(f.Clients))
 	}
-	_, _, err := f.fanOut(func(j int, a *AggregatorClient) error {
+	_, errs, err := f.fanOut(func(j int, a *AggregatorClient) error {
 		cctx, cancel := f.callCtx(ctx)
 		defer cancel()
 		return a.UploadFrag(cctx, round, partyID, frags[j], j, weight)
 	})
-	return err
+	return classifyAbandoned(err, errs)
 }
 
 // CompleteAll polls every aggregator's round completeness concurrently and
@@ -218,7 +230,8 @@ func (f *Fleet) DownloadAll(ctx context.Context, round int, partyID string, fall
 	}
 	frags := make([]tensor.Vector, len(f.Clients))
 	backoff := f.pollBackoff()
-	ok, _, err := f.fanOut(func(j int, a *AggregatorClient) error {
+	clk := f.clk()
+	ok, errs, err := f.fanOut(func(j int, a *AggregatorClient) error {
 		for attempt := 0; ; attempt++ {
 			cctx, cancel := f.callCtx(ctx)
 			frag, err := a.Download(cctx, round, partyID)
@@ -228,8 +241,9 @@ func (f *Fleet) DownloadAll(ctx context.Context, round int, partyID string, fall
 				return nil
 			}
 			if !isNotAggregated(err) {
-				// Connection failure, per-call timeout, or a remote
-				// rejection: this aggregator is down for the round.
+				// Connection failure, per-call timeout, an abandoned
+				// round, or a remote rejection: this aggregator is down
+				// for the round.
 				return err
 			}
 			// Not aggregated yet: back off (jittered, capped) and poll
@@ -237,12 +251,12 @@ func (f *Fleet) DownloadAll(ctx context.Context, round int, partyID string, fall
 			select {
 			case <-ctx.Done():
 				return fmt.Errorf("waiting for round %d fragment: %w", round, ctx.Err())
-			case <-time.After(backoff.Delay(attempt)):
+			case <-clk.After(backoff.Delay(attempt)):
 			}
 		}
 	})
 	if err != nil {
-		return nil, err
+		return nil, classifyAbandoned(err, errs)
 	}
 	for j := range frags {
 		if !ok[j] {
@@ -266,6 +280,37 @@ func (f *Fleet) Stats() map[string]transport.StatsSnapshot {
 	return out
 }
 
+// HeartbeatAll sends a liveness heartbeat to every aggregator
+// concurrently. Best-effort by design — a missed heartbeat is exactly the
+// signal the liveness tracker exists to notice — so unlike the round
+// fan-outs it never fails on quorum; it reports how many aggregators
+// acknowledged and which of them readmitted the party (sorted).
+func (f *Fleet) HeartbeatAll(ctx context.Context, partyID string) (acked int, rejoinedAt []string) {
+	var mu sync.Mutex
+	var g Group
+	for _, a := range f.Clients {
+		a := a
+		g.Go(func() error {
+			cctx, cancel := f.callCtx(ctx)
+			defer cancel()
+			rejoined, err := a.Heartbeat(cctx, partyID)
+			if err != nil {
+				return nil // best-effort: silence is the signal
+			}
+			mu.Lock()
+			acked++
+			if rejoined {
+				rejoinedAt = append(rejoinedAt, a.ID)
+			}
+			mu.Unlock()
+			return nil
+		})
+	}
+	g.Wait()
+	sort.Strings(rejoinedAt)
+	return acked, rejoinedAt
+}
+
 // isNotAggregated matches the aggregator's "round not aggregated yet"
 // rejection across the RPC boundary (remote errors travel as strings).
 func isNotAggregated(err error) bool {
@@ -277,4 +322,33 @@ func isNotAggregated(err error) bool {
 	}
 	var re *transport.RemoteError
 	return errors.As(err, &re) && strings.Contains(re.Msg, "not aggregated")
+}
+
+// isAbandoned matches the aggregator's round-abandoned rejection across
+// the RPC boundary.
+func isAbandoned(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrRoundAbandoned) {
+		return true
+	}
+	var re *transport.RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, "round abandoned")
+}
+
+// classifyAbandoned upgrades a below-quorum fan-out failure to
+// ErrRoundAbandoned when any aggregator rejected the round as abandoned:
+// the party should skip the round (survivors already fused or gave up
+// without it), not burn its round deadline retrying.
+func classifyAbandoned(err error, errs []error) error {
+	if err == nil {
+		return nil
+	}
+	for _, e := range errs {
+		if isAbandoned(e) {
+			return fmt.Errorf("%w: %w", ErrRoundAbandoned, err)
+		}
+	}
+	return err
 }

@@ -20,6 +20,7 @@ const (
 	MethodComplete  = "deta.Complete"
 	MethodAggregate = "deta.Aggregate"
 	MethodDownload  = "deta.Download"
+	MethodHeartbeat = "deta.Heartbeat"
 )
 
 // Wire messages. Fields are exported for gob.
@@ -47,8 +48,22 @@ type (
 
 	// CompleteReq polls round completeness.
 	CompleteReq struct{ Round int }
-	// CompleteResp reports it.
-	CompleteResp struct{ Complete bool }
+	// CompleteResp reports it. Abandoned (added with the round lifecycle;
+	// gob keeps old peers compatible) flags a round past its deadline
+	// below quorum, so pollers skip it instead of waiting forever.
+	CompleteResp struct {
+		Complete  bool
+		Abandoned bool
+	}
+
+	// HeartbeatReq is a party's lightweight liveness signal.
+	HeartbeatReq struct{ PartyID string }
+	// HeartbeatResp acknowledges it; Rejoined reports that the heartbeat
+	// readmitted a previously evicted party.
+	HeartbeatResp struct {
+		OK       bool
+		Rejoined bool
+	}
 
 	// AggregateReq instructs a follower to fuse a round (sent by the
 	// initiator's sync protocol).
@@ -128,7 +143,15 @@ func ServeAggregator(node *AggregatorNode, srv *transport.Server) {
 		return UploadResp{OK: true}, nil
 	})
 	transport.HandleTyped(srv, MethodComplete, func(r CompleteReq) (CompleteResp, error) {
-		return CompleteResp{Complete: node.Complete(r.Round)}, nil
+		done, abandoned := node.RoundStatus(r.Round)
+		return CompleteResp{Complete: done, Abandoned: abandoned}, nil
+	})
+	transport.HandleTyped(srv, MethodHeartbeat, func(r HeartbeatReq) (HeartbeatResp, error) {
+		rejoined, err := node.Heartbeat(r.PartyID)
+		if err != nil {
+			return HeartbeatResp{}, err
+		}
+		return HeartbeatResp{OK: true, Rejoined: rejoined}, nil
 	})
 	transport.HandleTyped(srv, MethodAggregate, func(r AggregateReq) (AggregateResp, error) {
 		if err := node.Aggregate(r.Round); err != nil {
@@ -249,13 +272,31 @@ func (a *AggregatorClient) UploadFrag(ctx context.Context, round int, partyID st
 	return nil
 }
 
-// Complete polls whether all parties uploaded for round.
+// Complete polls whether the round is ready to fuse.
 func (a *AggregatorClient) Complete(ctx context.Context, round int) (bool, error) {
+	done, _, err := a.CompleteStatus(ctx, round)
+	return done, err
+}
+
+// CompleteStatus is Complete plus the round's abandoned flag, so sync
+// loops can skip a round the aggregator gave up on instead of polling it
+// until their deadline.
+func (a *AggregatorClient) CompleteStatus(ctx context.Context, round int) (complete, abandoned bool, err error) {
 	resp, err := callAgg[CompleteReq, CompleteResp](ctx, a, MethodComplete, CompleteReq{Round: round})
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
-	return resp.Complete, nil
+	return resp.Complete, resp.Abandoned, nil
+}
+
+// Heartbeat sends a liveness signal; rejoined reports that this heartbeat
+// readmitted the (previously evicted) party.
+func (a *AggregatorClient) Heartbeat(ctx context.Context, partyID string) (rejoined bool, err error) {
+	resp, err := callAgg[HeartbeatReq, HeartbeatResp](ctx, a, MethodHeartbeat, HeartbeatReq{PartyID: partyID})
+	if err != nil {
+		return false, fmt.Errorf("core: heartbeat to %s: %w", a.ID, err)
+	}
+	return resp.Rejoined, nil
 }
 
 // Aggregate instructs the aggregator to fuse a round (idempotent on the

@@ -40,6 +40,13 @@ const (
 	// legacy types above are still replayed, so pre-codec journals recover.
 	recUpload2    uint8 = 8 // an accepted fragment (fsynced before ack)
 	recAggregate2 uint8 = 9 // a fused round; carries the fused vector
+
+	// Party-churn records (lifecycle.go). Suspicion is derived state and
+	// never journaled; only the membership *decisions* are, so a crash
+	// between suspect and evict replays to the pre-evict membership — the
+	// same state an uncrashed node would be in.
+	recEvict  uint8 = 10 // a silent party was evicted from membership
+	recRejoin uint8 = 11 // an evicted party was readmitted
 )
 
 // walEvent is the single gob-encoded payload shape shared by all record
@@ -59,13 +66,16 @@ type walRound struct {
 	Aggregated []float64
 }
 
-// walSnapshot is the full-node compaction snapshot.
+// walSnapshot is the full-node compaction snapshot. Evicted was added with
+// the churn records; gob keeps old snapshots decodable (missing field
+// stays empty) and old binaries tolerant of new ones.
 type walSnapshot struct {
 	Parties        []string
 	Quorum         int
 	Retention      int
 	LastAggregated int
 	Rounds         map[int]walRound
+	Evicted        []string
 }
 
 func encodeWAL(v any) ([]byte, error) {
@@ -83,6 +93,7 @@ func decodeWAL(data []byte, v any) error {
 // RecoveryInfo summarizes what a journal replay restored, for boot logging.
 type RecoveryInfo struct {
 	Parties        int  // registered parties restored
+	Evicted        int  // parties evicted for silence and not readmitted
 	Rounds         int  // rounds held in memory after replay
 	Aggregated     int  // of those, rounds with a fused vector
 	LastAggregated int  // highest fused round (resume initiator sync here)
@@ -123,6 +134,7 @@ func RecoverAggregatorNode(id string, algorithm agg.Algorithm, cvm *sev.CVM, dir
 	node.mu.Lock()
 	node.journal = j
 	info.Parties = len(node.parties)
+	info.Evicted = len(node.evicted)
 	info.Rounds = len(node.rounds)
 	info.LastAggregated = node.lastAggregated
 	for _, rs := range node.rounds {
@@ -170,6 +182,9 @@ func (a *AggregatorNode) restoreSnapshot(snap walSnapshot) {
 	for _, p := range snap.Parties {
 		a.parties[p] = true
 	}
+	for _, p := range snap.Evicted {
+		a.evicted[p] = true
+	}
 	a.quorum = snap.Quorum
 	a.retention = snap.Retention
 	a.lastAggregated = snap.LastAggregated
@@ -200,8 +215,11 @@ func (a *AggregatorNode) applyRecord(r journal.Record, info *RecoveryInfo) error
 		defer a.mu.Unlock()
 		if r.Type == recUpload2 {
 			// An accepted upload implies registration even if the register
-			// record itself was lost.
+			// record itself was lost — and implies the party is not evicted
+			// (the live path journals recRejoin first; that record is
+			// best-effort, so self-heal here if it was lost).
 			a.parties[f.PartyID] = true
+			delete(a.evicted, f.PartyID)
 			rs, ok := a.rounds[f.Round]
 			if !ok {
 				rs = newRoundState()
@@ -223,10 +241,12 @@ func (a *AggregatorNode) applyRecord(r journal.Record, info *RecoveryInfo) error
 	switch r.Type {
 	case recRegister:
 		a.parties[ev.Party] = true
+		delete(a.evicted, ev.Party)
 	case recUpload:
 		// An accepted upload implies registration even if the register
 		// record itself was lost.
 		a.parties[ev.Party] = true
+		delete(a.evicted, ev.Party)
 		rs, ok := a.rounds[ev.Round]
 		if !ok {
 			rs = newRoundState()
@@ -247,6 +267,13 @@ func (a *AggregatorNode) applyRecord(r journal.Record, info *RecoveryInfo) error
 		if info != nil {
 			info.FetchesServed++
 		}
+	case recEvict:
+		delete(a.parties, ev.Party)
+		delete(a.lastSeen, ev.Party)
+		a.evicted[ev.Party] = true
+	case recRejoin:
+		delete(a.evicted, ev.Party)
+		a.parties[ev.Party] = true
 	default:
 		return fmt.Errorf("unknown record type %d", r.Type)
 	}
@@ -347,6 +374,10 @@ func (a *AggregatorNode) snapshotLocked() walSnapshot {
 		snap.Parties = append(snap.Parties, p)
 	}
 	sort.Strings(snap.Parties)
+	for p := range a.evicted {
+		snap.Evicted = append(snap.Evicted, p)
+	}
+	sort.Strings(snap.Evicted)
 	for round, rs := range a.rounds {
 		wr := walRound{
 			Fragments: make(map[string][]float64, len(rs.fragments)),

@@ -62,6 +62,17 @@ type Options struct {
 	// copy), and Run skips its explicit per-round DropRound in favor of
 	// that policy.
 	RetainRounds int
+	// RoundDeadline, when positive, arms the per-round lifecycle state
+	// machine on every aggregator: a round still below quorum after this
+	// long is abandoned (typed ErrRoundAbandoned) instead of waiting
+	// forever, and a round with quorum seals at the deadline without its
+	// stragglers. See AggregatorNode.SetLifecycle.
+	RoundDeadline time.Duration
+	// RoundGrace is the post-quorum straggler window: once quorum is
+	// reached, the round seals after min(RoundGrace, remaining deadline),
+	// or immediately when every registered party has uploaded. Only
+	// meaningful with RoundDeadline set.
+	RoundGrace time.Duration
 }
 
 func (o *Options) defaults() {
@@ -100,6 +111,12 @@ type Session struct {
 	Broker   *attest.KeyBroker
 	Proxy    *attest.Proxy
 
+	// Clock is the session's time source (nil = SystemClock). It is
+	// injected into every aggregator node and used for the session's own
+	// latency accounting, so deadline behavior and timing metrics are
+	// testable under a FakeClock without sleeping.
+	Clock Clock
+
 	// Availability, when non-nil, reports whether a party participates in
 	// a round; absent parties neither train nor upload that round (they
 	// still receive the aggregated model). Requires Opts.Quorum low
@@ -121,8 +138,17 @@ type Session struct {
 //  3. have every party verify every aggregator (challenge-response) and
 //     register,
 //  4. distribute the permutation key and build the shared model mapper.
+//
+// clk returns the session's time source (SystemClock when none injected).
+func (s *Session) clk() Clock {
+	if s.Clock != nil {
+		return s.Clock
+	}
+	return SystemClock
+}
+
 func (s *Session) Setup() error {
-	start := time.Now()
+	start := s.clk().Now()
 	s.Opts.defaults()
 	if err := s.Cfg.Validate(); err != nil {
 		return err
@@ -170,6 +196,12 @@ func (s *Session) Setup() error {
 		}
 		if s.Opts.RetainRounds > 0 {
 			node.SetRetention(s.Opts.RetainRounds)
+		}
+		if s.Clock != nil {
+			node.SetClock(s.Clock)
+		}
+		if s.Opts.RoundDeadline > 0 {
+			node.SetLifecycle(s.Opts.RoundDeadline, s.Opts.RoundGrace)
 		}
 		s.Nodes[j] = node
 	}
@@ -225,7 +257,7 @@ func (s *Session) Setup() error {
 	if err != nil {
 		return err
 	}
-	s.SetupLatency = time.Since(start)
+	s.SetupLatency = s.clk().Now().Sub(start)
 	return nil
 }
 
@@ -244,7 +276,7 @@ func (s *Session) Run() (*fl.History, error) {
 	hist := &fl.History{System: "DETA"}
 	var cum time.Duration
 	for round := 1; round <= s.Cfg.Rounds; round++ {
-		start := time.Now()
+		start := s.clk().Now()
 		roundID, err := s.Broker.RoundID(round)
 		if err != nil {
 			return nil, err
@@ -319,7 +351,7 @@ func (s *Session) Run() (*fl.History, error) {
 				node.DropRound(round)
 			}
 		}
-		cum += time.Since(start)
+		cum += s.clk().Now().Sub(start)
 
 		m := fl.RoundMetrics{Round: round, TrainLoss: trainLoss, Cumulative: cum}
 		if s.Test != nil {

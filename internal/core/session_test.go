@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"deta/internal/agg"
 	"deta/internal/attest"
@@ -306,5 +307,62 @@ func TestBreachedAggregatorSeesShuffledFragment(t *testing.T) {
 	}
 	if diff < len(plainFrags[0])/2 {
 		t.Fatalf("wire fragment barely differs from plain partition: %d/%d", diff, len(plainFrags[0]))
+	}
+}
+
+// All session timing flows through the injected Clock: with a fake clock
+// auto-advancing a fixed step per reading, two identical runs report
+// identical (and nonzero) latencies — no wall-clock jitter, no sleeps.
+func TestSessionLatencyDeterministicUnderFakeClock(t *testing.T) {
+	runOnce := func() (*Session, *fl.History) {
+		s := newTinySession(t, 2, true)
+		clk := NewFakeClock(time.Unix(1_000_000, 0))
+		clk.SetAutoAdvance(time.Millisecond)
+		s.Clock = clk
+		hist, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, hist
+	}
+	s1, h1 := runOnce()
+	s2, h2 := runOnce()
+	if s1.SetupLatency <= 0 {
+		t.Fatal("fake-clock setup latency not recorded")
+	}
+	if s1.SetupLatency != s2.SetupLatency {
+		t.Fatalf("setup latency nondeterministic: %v vs %v", s1.SetupLatency, s2.SetupLatency)
+	}
+	last1 := h1.Rounds[len(h1.Rounds)-1].Cumulative
+	last2 := h2.Rounds[len(h2.Rounds)-1].Cumulative
+	if last1 <= 0 {
+		t.Fatal("fake-clock cumulative latency not recorded")
+	}
+	if last1 != last2 {
+		t.Fatalf("cumulative latency nondeterministic: %v vs %v", last1, last2)
+	}
+}
+
+// A session configured with a round deadline threads it into every node.
+func TestSessionThreadsLifecycleIntoNodes(t *testing.T) {
+	s := newTinySession(t, 2, true)
+	clk := NewFakeClock(time.Unix(1_000_000, 0))
+	s.Clock = clk
+	s.Opts.RoundDeadline = 30 * time.Second
+	s.Opts.RoundGrace = time.Second
+	if err := s.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range s.Nodes {
+		n.Register("ghost") // only ghost uploads; others never show up
+		if err := n.Upload(1, "ghost", tensor.Vector{1}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.Advance(30 * time.Second)
+	for _, n := range s.Nodes {
+		if !n.Abandoned(1) {
+			t.Fatalf("node %s ignored the session round deadline", n.ID)
+		}
 	}
 }

@@ -145,6 +145,7 @@ var tableBuilders = map[string]func(Scale) (*Table, error){
 	"ablation-geo":         AblationGeoLatency,
 	"ablation-labels":      AblationLabelInference,
 	"ablation-ldp":         AblationLDP,
+	"churn":                ChurnSweep,
 }
 
 var figureBuilders = map[string]func(Scale) (*Figure, *Figure, error){

@@ -54,6 +54,7 @@ var Registry = map[string]Runner{
 	"ablation-geo":         tableRunner(AblationGeoLatency),
 	"ablation-labels":      tableRunner(AblationLabelInference),
 	"ablation-ldp":         tableRunner(AblationLDP),
+	"churn":                tableRunner(ChurnSweep),
 }
 
 // IDs returns the registered experiment IDs in sorted order.

@@ -56,6 +56,7 @@ var smokeWant = map[string][]string{
 	"ablation-geo":         {"LinkDelay,RoundLatency"},
 	"ablation-labels":      {"Scenario,LabelAccuracy"},
 	"ablation-ldp":         {"Epsilon,NoiseSigma"},
+	"churn":                {"Parties,Dropout,Rounds,FusedFull,FusedDegraded,Abandoned"},
 }
 
 // TestSmokeRegistryPinned checks the three registries agree: every

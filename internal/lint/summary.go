@@ -335,50 +335,133 @@ type lockEffect struct {
 	acquire bool
 }
 
-// computeLockFX summarizes, per declared function, the locks it leaves
-// held (or releases) when it returns. Depth-1 on purpose: effects come
-// from direct sync.Mutex operations in the body, not from further calls.
-// Balanced Lock/Unlock (and Lock with deferred Unlock) cancel out.
+// computeLockFX summarizes, per declared function, the net locks it
+// leaves held (or releases) for its caller, rooted at the receiver or a
+// parameter. Effects propagate through call edges to a fixpoint (the
+// same shape as computeIO): a helper that locks via another helper still
+// surfaces at the outermost call site. Balanced Lock/Unlock — direct,
+// through calls, or Lock with a deferred Unlock — cancel out. Effects
+// rooted at a callee's locals never propagate; they are invisible in the
+// caller's frame.
 func computeLockFX(units []*funcUnit) map[*types.Func][]lockEffect {
 	out := make(map[*types.Func][]lockEffect)
-	for _, u := range units {
-		if u.obj == nil {
-			continue
+	// The cap bounds recursive call cycles; real helper chains stabilize
+	// after one pass per call depth.
+	for iter := 0; iter < 10; iter++ {
+		next := make(map[*types.Func][]lockEffect)
+		for _, u := range units {
+			if u.obj == nil {
+				continue
+			}
+			if fx := unitLockFX(u, out); len(fx) > 0 {
+				next[u.obj] = fx
+			}
 		}
-		roots := unitRoots(u)
-		var fx []lockEffect
-		apply := func(root int, path string, acquire bool) {
-			// A release cancels the latest matching acquire (and vice
-			// versa); otherwise it is a net effect of its own.
-			for i := len(fx) - 1; i >= 0; i-- {
-				if fx[i].root == root && fx[i].path == path && fx[i].acquire != acquire {
-					fx = append(fx[:i], fx[i+1:]...)
-					return
+		if lockFXStable(out, next) {
+			return next
+		}
+		out = next
+	}
+	return out
+}
+
+// unitLockFX computes one function's net lock effects given the current
+// summaries of every other function.
+func unitLockFX(u *funcUnit, summaries map[*types.Func][]lockEffect) []lockEffect {
+	roots := unitRoots(u)
+	var fx []lockEffect
+	apply := func(root int, path string, acquire bool) {
+		// A release cancels the latest matching acquire (and vice
+		// versa); otherwise it is a net effect of its own.
+		for i := len(fx) - 1; i >= 0; i-- {
+			if fx[i].root == root && fx[i].path == path && fx[i].acquire != acquire {
+				fx = append(fx[:i], fx[i+1:]...)
+				return
+			}
+		}
+		fx = append(fx, lockEffect{root: root, path: path, acquire: acquire})
+	}
+	// callFX maps a callee's summarized effects through the call site
+	// into this function's frame. releasesOnly models deferred calls,
+	// which (like deferred Unlocks) only ever discharge a held lock.
+	callFX := func(call *ast.CallExpr, releasesOnly bool) {
+		callee := calleeFunc(u.pkg, call)
+		if callee == nil {
+			return
+		}
+		for _, e := range summaries[callee] {
+			if releasesOnly && e.acquire {
+				continue
+			}
+			var base ast.Expr
+			if e.root == -1 {
+				sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				base = sel.X
+			} else {
+				if e.root >= len(call.Args) {
+					continue
+				}
+				base = call.Args[e.root]
+			}
+			if root, path, ok := exprRoot(u.pkg, base, roots); ok {
+				apply(root, path+e.path, e.acquire)
+			}
+		}
+	}
+	syncWalk(u.body(), func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if _, name, ok := mutexOp(u.pkg, st.X); ok {
+				if root, path, ok := splitRoot(u.pkg, st.X, roots); ok {
+					apply(root, path, name == "Lock" || name == "RLock")
+				}
+				return
+			}
+			if call, ok := unparen(st.X).(*ast.CallExpr); ok {
+				callFX(call, false)
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range st.Rhs {
+				if call, ok := unparen(rhs).(*ast.CallExpr); ok {
+					callFX(call, false)
 				}
 			}
-			fx = append(fx, lockEffect{root: root, path: path, acquire: acquire})
-		}
-		syncWalk(u.body(), func(n ast.Node) {
-			switch st := n.(type) {
-			case *ast.ExprStmt:
-				if _, name, ok := mutexOp(u.pkg, st.X); ok {
-					if root, path, ok := splitRoot(u.pkg, st.X, roots); ok {
-						apply(root, path, name == "Lock" || name == "RLock")
-					}
-				}
-			case *ast.DeferStmt:
-				if _, name, ok := mutexOp(u.pkg, st.Call); ok && (name == "Unlock" || name == "RUnlock") {
+		case *ast.DeferStmt:
+			if _, name, ok := mutexOp(u.pkg, st.Call); ok {
+				if name == "Unlock" || name == "RUnlock" {
 					if root, path, ok := splitRoot(u.pkg, st.Call, roots); ok {
 						apply(root, path, false)
 					}
 				}
+				return
 			}
-		})
-		if len(fx) > 0 {
-			out[u.obj] = fx
+			callFX(st.Call, true)
+		}
+	})
+	return fx
+}
+
+// lockFXStable reports whether two summary generations are identical, so
+// the fixpoint can stop iterating.
+func lockFXStable(a, b map[*types.Func][]lockEffect) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for f, afx := range a {
+		bfx, ok := b[f]
+		if !ok || len(afx) != len(bfx) {
+			return false
+		}
+		for i := range afx {
+			if afx[i] != bfx[i] {
+				return false
+			}
 		}
 	}
-	return out
+	return true
 }
 
 // unitRoots maps the receiver (-1) and parameter objects (by index) of a
@@ -418,21 +501,34 @@ func splitRoot(pkg *Package, call ast.Expr, roots map[types.Object]int) (int, st
 	if !ok {
 		return 0, "", false
 	}
-	base := sel.X
+	return exprRoot(pkg, sel.X, roots)
+}
+
+// exprRoot decomposes a selector chain (possibly through & and *) into a
+// root (receiver/parameter index) and the printed path below it ("" if
+// the root IS the expression).
+func exprRoot(pkg *Package, e ast.Expr, roots map[types.Object]int) (int, string, bool) {
+	full := types.ExprString(unparen(e))
+	base := unparen(e)
 	for {
-		switch x := unparen(base).(type) {
+		switch x := base.(type) {
 		case *ast.SelectorExpr:
-			base = x.X
+			base = unparen(x.X)
 		case *ast.StarExpr:
-			base = x.X
+			base = unparen(x.X)
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return 0, "", false
+			}
+			base = unparen(x.X)
 		case *ast.Ident:
 			obj := pkg.Info.Uses[x]
 			root, ok := roots[obj]
 			if !ok {
 				return 0, "", false
 			}
-			full := types.ExprString(sel.X)
-			return root, strings.TrimPrefix(full, x.Name), true
+			path := strings.TrimLeft(full, "&*")
+			return root, strings.TrimPrefix(path, x.Name), true
 		default:
 			return 0, "", false
 		}

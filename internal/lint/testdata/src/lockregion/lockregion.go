@@ -108,6 +108,54 @@ func (p *peer) goodHelperReleased(b []byte) (int, error) {
 	return p.conn.Write(b)
 }
 
+// hold2 acquires the peer lock through another helper: the lock-effect
+// fixpoint must propagate the acquisition two call levels up.
+func (p *peer) hold2() { p.hold() }
+
+// release2 releases it through a helper.
+func (p *peer) release2() { p.release() }
+
+// badDeepHelperHeld does I/O inside a lock acquired two helper levels
+// down — invisible to a depth-1 summary, visible to the fixpoint.
+func (p *peer) badDeepHelperHeld(b []byte) (int, error) {
+	p.hold2()
+	n, err := p.conn.Write(b) // want lockregion
+	p.release2()
+	return n, err
+}
+
+// goodDeepHelperReleased touches the network only after the deep helper
+// chain released the lock.
+func (p *peer) goodDeepHelperReleased(b []byte) (int, error) {
+	p.hold2()
+	p.buf = append(p.buf[:0], b...)
+	p.release2()
+	return p.conn.Write(b)
+}
+
+// badDeferredDeepRelease holds a deep-helper lock with the matching deep
+// release deferred; the write still runs with the lock held.
+func (p *peer) badDeferredDeepRelease(b []byte) (int, error) {
+	p.hold2()
+	defer p.release2()
+	return p.conn.Write(b) // want lockregion
+}
+
+// lockedAppend acquires and releases via helpers internally: its net
+// effect is nil at every depth, so callers never inherit a held lock.
+func (p *peer) lockedAppend(b []byte) {
+	p.hold()
+	p.buf = append(p.buf, b...)
+	p.release()
+}
+
+// goodBalancedDeep calls a helper whose nested lock/unlock cancel; the
+// write afterwards runs lock-free.
+func (p *peer) goodBalancedDeep(b []byte) (int, error) {
+	p.lockedAppend(b)
+	return p.conn.Write(p.buf)
+}
+
 // flush performs network I/O on its synchronous path.
 func (p *peer) flush() (int, error) {
 	return p.conn.Write(p.buf)

@@ -21,6 +21,9 @@ go test -race ./...
 echo "== chaos e2e (fault injection + aggregator kill/restart, -race)"
 go test -race -count=1 -run 'TestChaosRestartBitIdenticalModel' -v ./internal/core
 
+echo "== churn chaos e2e (party death + evict + rejoin + aggregator restart, -race)"
+go test -race -count=1 -run 'TestChaosChurnEvictRejoinBitIdentical' -v ./internal/core
+
 echo "== perf vs tracked baselines: data-plane areas gate hard"
 go run ./cmd/deta-bench -perf -perf-area core,transport,paillier -perf-baseline .
 
