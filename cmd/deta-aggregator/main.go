@@ -130,7 +130,10 @@ func main() {
 		// (the WAL carries no timestamps), so a restarted aggregator gives
 		// everyone a full window before suspecting anyone.
 		node.SetLiveness(3**heartbeat, 8**heartbeat)
-		go livenessTicker(node, *heartbeat)
+		// The process context gives the ticker an escape edge (goleak):
+		// main never cancels it today, but the goroutine must not be
+		// structurally unstoppable.
+		go livenessTicker(context.Background(), node, *heartbeat)
 		log.Printf("liveness armed: suspect after %v, evict after %v", 3**heartbeat, 8**heartbeat)
 	}
 	srv := transport.NewServer()
@@ -203,14 +206,19 @@ func dialPeers(ctx context.Context, mat *transport.TLSMaterials, spec, tlsName s
 // lastSeen forward, and this timer notices the parties that stopped
 // pushing. Evictions are journaled by the node before taking effect, so a
 // crash right after one replays to the same membership.
-func livenessTicker(node *core.AggregatorNode, interval time.Duration) {
+func livenessTicker(ctx context.Context, node *core.AggregatorNode, interval time.Duration) {
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	// Evictions can also be performed by the reap that runs on every
 	// heartbeat receipt, between ticks; diff the evicted set rather than
 	// relying on Tick's own return so every eviction gets a log line.
 	known := map[string]bool{}
-	for range tick.C {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
 		node.Tick()
 		cur := map[string]bool{}
 		var fresh []string

@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"testing"
+	"time"
 )
 
 func TestParseAlgorithm(t *testing.T) {
@@ -38,5 +39,25 @@ func TestDialPeersEmpty(t *testing.T) {
 func TestDialPeersBadEntry(t *testing.T) {
 	if _, err := dialPeers(context.Background(), nil, "no-equals-sign", "name"); err == nil {
 		t.Fatal("malformed peer entry accepted")
+	}
+}
+
+// Regression for a goleak finding: livenessTicker used to range over the
+// ticker channel with no escape edge, so the goroutine could never exit.
+// It must now return promptly when its context is cancelled. The node is
+// nil on purpose: with an hour-long interval the loop must reach the
+// ctx.Done arm before it ever touches the node.
+func TestLivenessTickerStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		livenessTicker(ctx, nil, time.Hour)
+		close(done)
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("livenessTicker did not exit on context cancellation")
 	}
 }

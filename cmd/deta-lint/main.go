@@ -28,6 +28,7 @@ func main() {
 		list          = flag.Bool("list", false, "list analyzers and exit")
 		baseline      = flag.String("baseline", "", "suppress findings recorded in this baseline file; fail only on new ones")
 		baselineWrite = flag.String("baseline-write", "", "record current findings to this baseline file and exit 0")
+		sarifOut      = flag.String("sarif", "", "also write findings (post-baseline) as SARIF 2.1.0 to this file")
 	)
 	flag.Parse()
 
@@ -75,6 +76,12 @@ func main() {
 			os.Exit(2)
 		}
 		findings = lint.FilterBaseline(findings, base, wd)
+	}
+	if *sarifOut != "" {
+		if err := lint.WriteSARIF(*sarifOut, wd, analyzers, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "deta-lint:", err)
+			os.Exit(2)
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

@@ -115,8 +115,10 @@ func main() {
 		// Background liveness heartbeats: training (and its long local-
 		// compute stretches) must not read as death to the aggregators'
 		// liveness tracker. A heartbeat also readmits this party anywhere
-		// it was evicted while unreachable.
-		go heartbeatLoop(fleet, *id, *heartbeat)
+		// it was evicted while unreachable. The process context gives the
+		// loop an escape edge (goleak): main never cancels it today, but
+		// the goroutine must not be structurally unstoppable.
+		go heartbeatLoop(ctx, fleet, *id, *heartbeat)
 	}
 
 	// Key broker: register and fetch the shared permutation key.
@@ -262,16 +264,21 @@ func retryStep(ctx context.Context, timeout time.Duration, round int, what strin
 // heartbeatLoop keeps this party alive in every aggregator's liveness
 // tracker while it trains. Best-effort fan-out: silence toward an
 // unreachable aggregator is exactly what its tracker should observe.
-func heartbeatLoop(fleet *core.Fleet, id string, interval time.Duration) {
+func heartbeatLoop(ctx context.Context, fleet *core.Fleet, id string, interval time.Duration) {
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
-	for range tick.C {
-		acked, rejoinedAt := fleet.HeartbeatAll(context.Background(), id)
-		if len(rejoinedAt) > 0 {
-			log.Printf("heartbeat: rejoined at %v", rejoinedAt)
-		}
-		if acked == 0 {
-			log.Printf("heartbeat: no aggregator reachable")
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			acked, rejoinedAt := fleet.HeartbeatAll(ctx, id)
+			if len(rejoinedAt) > 0 {
+				log.Printf("heartbeat: rejoined at %v", rejoinedAt)
+			}
+			if acked == 0 {
+				log.Printf("heartbeat: no aggregator reachable")
+			}
 		}
 	}
 }

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"deta/internal/core"
+)
+
+// Regression for a goleak finding: heartbeatLoop used to range over the
+// ticker channel with no escape edge, so the goroutine could never exit.
+// It must now return promptly when its context is cancelled.
+func TestHeartbeatLoopStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		heartbeatLoop(ctx, &core.Fleet{}, "P1", time.Hour)
+		close(done)
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("heartbeatLoop did not exit on context cancellation")
+	}
+}

@@ -113,8 +113,11 @@ func (s *Shuffler) Unshuffle(frag tensor.Vector, roundID []byte, partition int) 
 // so no intermediate partition buffer is built, and fragments land in
 // pooled tensor buffers (hand them to tensor.PutVector after upload). The
 // result is bit-identical to Partition followed by Shuffle.
+//
+//perf:hotpath
 func Transform(m *Mapper, s *Shuffler, update tensor.Vector, roundID []byte, shuffle bool) ([]tensor.Vector, error) {
 	if !shuffle {
+		//lint:ignore allocfree partition-only mode builds fresh fragment buffers by contract
 		return m.Partition(update)
 	}
 	if len(update) != m.n {
@@ -126,10 +129,13 @@ func Transform(m *Mapper, s *Shuffler, update tensor.Vector, roundID []byte, shu
 	// Each fragment's permutation is derived and applied independently
 	// (domain-separated by partition index), so fragments build
 	// concurrently.
+	//
+	//lint:ignore allocfree one slice-header array per call; the fragment payloads come from the pool
 	out := make([]tensor.Vector, len(m.parts))
 	parallel.For(len(m.parts), 1, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			idxs := m.parts[j]
+			//lint:ignore allocfree permutation derivation is cached per (round, partition)
 			p := s.perm(roundID, j, len(idxs))
 			frag := tensor.GetVector(len(idxs))
 			for i, src := range p {
@@ -152,8 +158,11 @@ func Transform(m *Mapper, s *Shuffler, update tensor.Vector, roundID []byte, shu
 // index sets (Mapper.Validate invariant), so the scatters run
 // concurrently; the result is bit-identical to Unshuffle followed by
 // Merge.
+//
+//perf:hotpath
 func InverseTransform(m *Mapper, s *Shuffler, frags []tensor.Vector, roundID []byte, shuffle bool) (tensor.Vector, error) {
 	if !shuffle {
+		//lint:ignore allocfree partition-only mode merges into a fresh model buffer by contract
 		return m.Merge(frags)
 	}
 	if s == nil {
@@ -167,10 +176,12 @@ func InverseTransform(m *Mapper, s *Shuffler, frags []tensor.Vector, roundID []b
 			return nil, fmt.Errorf("core: fragment %d has %d values, want %d", j, len(frags[j]), len(idxs))
 		}
 	}
+	//lint:ignore allocfree the merged model is the result and outlives any pool window
 	out := make(tensor.Vector, m.n)
 	parallel.For(len(m.parts), 1, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
 			idxs := m.parts[j]
+			//lint:ignore allocfree permutation derivation is cached per (round, partition)
 			p := s.perm(roundID, j, len(idxs))
 			for i, v := range frags[j] {
 				out[idxs[p[i]]] = v

@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"deta/internal/parallel"
+)
+
+// TestRunDeterministic pins the parallel fan-out's ordering contract:
+// the same package set must produce byte-identical findings across
+// repeated runs and across worker counts (serial vs pooled). Fresh
+// analyzer instances each run — the summaries are recomputed, so any
+// map-iteration nondeterminism in the fixpoints would surface here too.
+func TestRunDeterministic(t *testing.T) {
+	loader := NewLoader()
+	pkgs := []*Package{
+		fixturePkg(t, loader, "lockorder", "deta/internal/core"),
+		fixturePkg(t, loader, "goleak", "deta/internal/core"),
+		fixturePkg(t, loader, "allocfree", "deta/internal/core"),
+		fixturePkg(t, loader, "lockregion", "deta/internal/core"),
+	}
+	ref := Run(pkgs, All())
+	if len(ref) == 0 {
+		t.Fatal("fixture set produced no findings; the determinism check is vacuous")
+	}
+	for i := 0; i < 3; i++ {
+		if got := Run(pkgs, All()); !reflect.DeepEqual(got, ref) {
+			t.Fatalf("run %d diverged:\n got %v\nwant %v", i, got, ref)
+		}
+	}
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	if got := Run(pkgs, All()); !reflect.DeepEqual(got, ref) {
+		t.Fatalf("serial run diverged:\n got %v\nwant %v", got, ref)
+	}
+}
+
+// BenchmarkLintSuite measures the full linter pass — fresh analyzer
+// suite per iteration, so Prepare's module-wide fixpoint summaries are
+// recomputed each time, exactly as a CLI invocation pays them. Loading
+// is excluded: parse+typecheck cost belongs to the loader benchmark
+// story, not the analyzers. Run with -bench over this package; see
+// EXPERIMENTS.md for the serial-vs-parallel numbers.
+func BenchmarkLintSuite(b *testing.B) {
+	wd, err := os.Getwd()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := NewLoader().Load(filepath.Join(wd, "..", ".."), "./...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(pkgs, All())
+	}
+}
+
+// BenchmarkLintSuiteSerial is the same pass pinned to one worker, so the
+// speedup from the per-package fan-out is directly readable from the
+// pair.
+func BenchmarkLintSuiteSerial(b *testing.B) {
+	wd, err := os.Getwd()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := NewLoader().Load(filepath.Join(wd, "..", ".."), "./...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev := parallel.SetWorkers(1)
+	defer parallel.SetWorkers(prev)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(pkgs, All())
+	}
+}

@@ -18,11 +18,18 @@
 //     in core (the WAL commit is the sanctioned exception)
 //   - ctxflow:        exported transport/core functions that transitively
 //     perform network I/O take a context.Context
+//   - lockorder:      the module-wide lock-acquisition-order graph is
+//     acyclic (cycles are potential deadlocks)
+//   - goleak:         no goroutine is spawned into a body that can block
+//     forever on channel operations with no escape edge
+//   - allocfree:      functions annotated //perf:hotpath (and their
+//     synchronous callees) perform no allocations beyond the sanctioned,
+//     acknowledged sites
 //
-// keytaint, lockregion, and ctxflow are dataflow analyzers: they run on
-// per-function control-flow graphs (cfg.go, dataflow.go) with
-// module-wide call-graph summaries (summary.go) computed once, up front,
-// through the Preparer hook.
+// keytaint, lockregion, ctxflow, lockorder, goleak, and allocfree are
+// dataflow/summary analyzers: they run on per-function control-flow
+// graphs (cfg.go, dataflow.go) with module-wide call-graph summaries
+// (summary.go) computed once, up front, through the Preparer hook.
 //
 // A finding on a line can be acknowledged — never silently — with a
 // comment on that line or the line above:
@@ -40,6 +47,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"deta/internal/parallel"
 )
 
 // Package is one loaded, type-checked package as the analyzers see it.
@@ -119,6 +128,9 @@ func All() []Analyzer {
 		&KeyTaint{},
 		&LockRegion{},
 		&CtxFlow{},
+		&LockOrder{},
+		&GoLeak{},
+		&AllocFree{},
 	}
 }
 
@@ -134,15 +146,16 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 			p.Prepare(pkgs)
 		}
 	}
-	var (
-		mu  sync.Mutex
-		all []Finding
-		wg  sync.WaitGroup
-	)
-	for _, pkg := range pkgs {
-		wg.Add(1)
-		go func(pkg *Package) {
-			defer wg.Done()
+	// Per-package fan-out over the shared worker pool (bounded, unlike
+	// the old one-goroutine-per-package spawn). Each package's findings
+	// land in its own slot, so the pre-sort order is already independent
+	// of scheduling; the final total-order sort (file, line, col,
+	// analyzer, message) makes the output canonical byte-for-byte across
+	// runs and worker counts.
+	results := make([][]Finding, len(pkgs))
+	parallel.For(len(pkgs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pkg := pkgs[i]
 			sup, bad := suppressions(pkg)
 			var local []Finding
 			for _, a := range analyzers {
@@ -155,21 +168,28 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 					local = append(local, f)
 				}
 			}
-			local = append(local, bad...)
-			mu.Lock()
-			all = append(all, local...)
-			mu.Unlock()
-		}(pkg)
+			results[i] = append(local, bad...)
+		}
+	})
+	var all []Finding
+	for _, fs := range results {
+		all = append(all, fs...)
 	}
-	wg.Wait()
 	sort.Slice(all, func(i, j int) bool {
-		if all[i].File != all[j].File {
-			return all[i].File < all[j].File
+		a, b := all[i], all[j]
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		if all[i].Line != all[j].Line {
-			return all[i].Line < all[j].Line
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
-		return all[i].Analyzer < all[j].Analyzer
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return all
 }

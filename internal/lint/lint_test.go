@@ -79,6 +79,9 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"keytaint", "deta/internal/core", &KeyTaint{}},
 		{"lockregion", "deta/internal/core", &LockRegion{}},
 		{"ctxflow", "deta/internal/core", &CtxFlow{}},
+		{"lockorder", "deta/internal/core", &LockOrder{}},
+		{"goleak", "deta/internal/core", &GoLeak{}},
+		{"allocfree", "deta/internal/core", &AllocFree{}},
 		{"suppress", "deta/internal/journal", ErrDiscipline{}},
 	}
 	for _, tc := range cases {
@@ -170,4 +173,35 @@ func TestLoadSelf(t *testing.T) {
 	if findings := Run(pkgs, All()); len(findings) != 0 {
 		t.Fatalf("lint package is not lint-clean: %v", findings)
 	}
+}
+
+// TestLockOrderRealTreeEdge pins the class machinery to the real tree:
+// the aggregator calls into the journal while holding its own mutex, and
+// journal methods take the journal mutex, so the order graph must contain
+// the edge core.AggregatorNode.mu -> journal.Journal.mu. The edge is
+// legitimate (it is the sanctioned WAL-commit order) — the analyzer's job
+// is to guarantee the reverse order never appears and closes a cycle.
+func TestLockOrderRealTreeEdge(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader().Load(filepath.Join(wd, "..", ".."),
+		"deta/internal/core", "deta/internal/journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	lo := &LockOrder{}
+	lo.Prepare(pkgs)
+	var got []string
+	for _, e := range lo.edges {
+		got = append(got, e.from+" -> "+e.to)
+		if e.from == "core.AggregatorNode.mu" && e.to == "journal.Journal.mu" {
+			return
+		}
+	}
+	t.Fatalf("edge core.AggregatorNode.mu -> journal.Journal.mu not in graph; have %v", got)
 }

@@ -23,6 +23,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"deta/internal/parallel"
 )
 
 // listPkg is the subset of `go list -json` output the loader consumes.
@@ -156,13 +158,21 @@ func (l *Loader) check(m *listPkg, apiOnly, cache bool) (*Package, error) {
 	}
 	l.mu.Unlock()
 
-	var files []*ast.File
-	for _, name := range m.GoFiles {
-		af, err := parser.ParseFile(l.Fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+	// Per-file parsing fans out over the worker pool: files are
+	// independent and token.FileSet is internally synchronized. Results
+	// land by index and the first error in file order wins, so the
+	// outcome is deterministic regardless of scheduling.
+	files := make([]*ast.File, len(m.GoFiles))
+	perr := make([]error, len(m.GoFiles))
+	parallel.For(len(m.GoFiles), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			files[i], perr[i] = parser.ParseFile(l.Fset, filepath.Join(m.Dir, m.GoFiles[i]), nil, parser.ParseComments)
+		}
+	})
+	for _, err := range perr {
 		if err != nil {
 			return nil, fmt.Errorf("lint: parsing %s: %w", m.ImportPath, err)
 		}
-		files = append(files, af)
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),

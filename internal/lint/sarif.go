@@ -1,0 +1,142 @@
+package lint
+
+// sarif.go: SARIF 2.1.0 output for CI code-scanning integration
+// (GitHub's upload-sarif action and any SARIF-aware viewer). Only the
+// subset of the schema the findings need is modeled — one run, one tool,
+// rules from the analyzer suite, one result per finding — and only the
+// standard library is used.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+const (
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// MarshalSARIF renders findings as an indented SARIF 2.1.0 document. The
+// rule table is the union of the supplied analyzer suite and any analyzer
+// names appearing in the findings (so pseudo-analyzers like "lintignore"
+// always have a rule to reference), sorted by ID. File paths become
+// root-relative forward-slash URIs; absolute paths outside root pass
+// through unchanged rather than lying about the layout.
+func MarshalSARIF(root string, analyzers []Analyzer, findings []Finding) ([]byte, error) {
+	docs := map[string]string{}
+	for _, a := range analyzers {
+		docs[a.Name()] = a.Doc()
+	}
+	for _, f := range findings {
+		if _, ok := docs[f.Analyzer]; !ok {
+			docs[f.Analyzer] = "finding reported by " + f.Analyzer
+		}
+	}
+	ids := make([]string, 0, len(docs))
+	for id := range docs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rules := make([]sarifRule, 0, len(ids))
+	for _, id := range ids {
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifMessage{Text: docs[id]}})
+	}
+
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		uri := f.File
+		if rel, err := filepath.Rel(root, f.File); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+			uri = rel
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(uri)},
+				Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+			}}},
+		})
+	}
+
+	doc := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "deta-lint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(&doc, "", "  ")
+}
+
+// WriteSARIF marshals and writes the document to path.
+func WriteSARIF(path, root string, analyzers []Analyzer, findings []Finding) error {
+	data, err := MarshalSARIF(root, analyzers, findings)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// hasDotDotPrefix reports whether a relative path escapes its base.
+func hasDotDotPrefix(rel string) bool {
+	return rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSARIFRoundTrip marshals a representative finding set, unmarshals it
+// back through the same structs, and checks every field the CI viewer
+// depends on: schema/version, the sorted rule table (including the
+// pseudo-analyzer synthesized from a finding), root-relative
+// forward-slash URIs, and line/column regions.
+func TestSARIFRoundTrip(t *testing.T) {
+	root := string(filepath.Separator) + filepath.Join("work", "repo")
+	findings := []Finding{
+		{
+			Analyzer: "lockorder",
+			File:     filepath.Join(root, "internal", "core", "a.go"),
+			Line:     12, Col: 3,
+			Message: "potential deadlock: lock-order cycle",
+		},
+		{
+			Analyzer: "lintignore",
+			File:     filepath.Join(root, "internal", "core", "b.go"),
+			Line:     4, Col: 1,
+			Message: "malformed directive",
+		},
+	}
+	data, err := MarshalSARIF(root, All(), findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var doc sarifLog
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if doc.Schema != sarifSchema || doc.Version != sarifVersion {
+		t.Fatalf("schema/version = %q/%q", doc.Schema, doc.Version)
+	}
+	if len(doc.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(doc.Runs))
+	}
+	run := doc.Runs[0]
+	if run.Tool.Driver.Name != "deta-lint" {
+		t.Fatalf("driver name %q", run.Tool.Driver.Name)
+	}
+
+	// Rule table: every suite analyzer plus the synthesized lintignore
+	// rule, sorted by ID.
+	byID := map[string]bool{}
+	for i, r := range run.Tool.Driver.Rules {
+		byID[r.ID] = true
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %s has no description", r.ID)
+		}
+		if i > 0 && run.Tool.Driver.Rules[i-1].ID >= r.ID {
+			t.Errorf("rules not sorted: %s >= %s", run.Tool.Driver.Rules[i-1].ID, r.ID)
+		}
+	}
+	for _, a := range All() {
+		if !byID[a.Name()] {
+			t.Errorf("rule table missing analyzer %s", a.Name())
+		}
+	}
+	if !byID["lintignore"] {
+		t.Error("rule table missing synthesized lintignore rule")
+	}
+
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	r0 := run.Results[0]
+	if r0.RuleID != "lockorder" || r0.Level != "error" {
+		t.Fatalf("result 0 ruleId/level = %q/%q", r0.RuleID, r0.Level)
+	}
+	if r0.Message.Text != findings[0].Message {
+		t.Fatalf("result 0 message %q", r0.Message.Text)
+	}
+	loc := r0.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/core/a.go" {
+		t.Fatalf("URI %q, want root-relative forward-slash path", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 12 || loc.Region.StartColumn != 3 {
+		t.Fatalf("region %+v", loc.Region)
+	}
+}
+
+// TestSARIFWriteEmpty pins the no-findings shape: results must serialize
+// as an empty array (not null — some viewers reject null), and the file
+// lands on disk with a trailing newline.
+func TestSARIFWriteEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.sarif")
+	if err := WriteSARIF(path, t.TempDir(), All(), nil); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("missing trailing newline")
+	}
+	var raw struct {
+		Runs []struct {
+			Results json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw.Runs[0].Results) != "[]" {
+		t.Fatalf("empty results serialized as %s, want []", raw.Runs[0].Results)
+	}
+}

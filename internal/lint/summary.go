@@ -567,6 +567,243 @@ type appliedLockFX struct {
 	pos     token.Pos
 }
 
+// ---------------------------------------------------------------------------
+// Lock-class summaries (lockorder).
+//
+// Lock identity here is a *class*, not an instance: a struct-field mutex
+// is named by its owning named type plus the field ("core.AggregatorNode.mu",
+// embedded owners resolved through the selection's index path), a
+// package-level mutex by "pkg.var". Classes are global strings, so —
+// unlike the root/path lockEffect form above, which exists to map
+// instances through call sites — class effects propagate through call
+// edges with no argument mapping at all. Local mutexes have no class and
+// are invisible to the order graph.
+
+// lockClass names the lock class of a mutex-valued expression, or "" if
+// the expression has no class (locals, unresolvable chains).
+func lockClass(pkg *Package, e ast.Expr) string {
+	switch x := unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pkg.Info.Selections[x]; ok {
+			return fieldClass(s)
+		}
+		// Package-qualified selector: otherpkg.GlobalMu.
+		if v, ok := pkg.Info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := pkg.Info.Uses[x].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+// fieldClass names the owning named type of a selected field:
+// "pkg.Type.field". The selection's index path is walked so the owner is
+// the struct that actually declares the field, even through embedding.
+func fieldClass(s *types.Selection) string {
+	t := s.Recv()
+	idx := s.Index()
+	for _, i := range idx[:len(idx)-1] {
+		st, ok := derefType(t).Underlying().(*types.Struct)
+		if !ok {
+			return ""
+		}
+		t = st.Field(i).Type()
+	}
+	named, ok := derefType(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + s.Obj().Name()
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// mutexClassOp matches a mutex Lock/RLock/Unlock/RUnlock call whose lock
+// has a resolvable class.
+func mutexClassOp(pkg *Package, e ast.Expr) (class, name string, ok bool) {
+	if _, n, isOp := mutexOp(pkg, e); isOp {
+		call := unparen(e).(*ast.CallExpr)
+		sel := call.Fun.(*ast.SelectorExpr)
+		if c := lockClass(pkg, sel.X); c != "" {
+			return c, n, true
+		}
+	}
+	return "", "", false
+}
+
+// classFX is one net class-level lock effect a function performs for its
+// caller. The same cancellation discipline as lockEffect applies, but no
+// call-site mapping is needed: classes are instance-independent.
+type classFX struct {
+	class   string
+	acquire bool
+}
+
+// computeClassFX mirrors computeLockFX at class granularity: the net lock
+// classes a function leaves held (or releases), to a fixpoint over call
+// edges.
+func computeClassFX(units []*funcUnit) map[*types.Func][]classFX {
+	out := make(map[*types.Func][]classFX)
+	for iter := 0; iter < 10; iter++ {
+		next := make(map[*types.Func][]classFX)
+		for _, u := range units {
+			if u.obj == nil {
+				continue
+			}
+			if fx := unitClassFX(u, out); len(fx) > 0 {
+				next[u.obj] = fx
+			}
+		}
+		if classFXStable(out, next) {
+			return next
+		}
+		out = next
+	}
+	return out
+}
+
+func unitClassFX(u *funcUnit, summaries map[*types.Func][]classFX) []classFX {
+	var fx []classFX
+	apply := func(class string, acquire bool) {
+		for i := len(fx) - 1; i >= 0; i-- {
+			if fx[i].class == class && fx[i].acquire != acquire {
+				fx = append(fx[:i], fx[i+1:]...)
+				return
+			}
+		}
+		fx = append(fx, classFX{class: class, acquire: acquire})
+	}
+	callFX := func(call *ast.CallExpr, releasesOnly bool) {
+		callee := calleeFunc(u.pkg, call)
+		if callee == nil {
+			return
+		}
+		for _, e := range summaries[callee] {
+			if releasesOnly && e.acquire {
+				continue
+			}
+			apply(e.class, e.acquire)
+		}
+	}
+	syncWalk(u.body(), func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if class, name, ok := mutexClassOp(u.pkg, st.X); ok {
+				apply(class, name == "Lock" || name == "RLock")
+				return
+			}
+			if call, ok := unparen(st.X).(*ast.CallExpr); ok {
+				callFX(call, false)
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range st.Rhs {
+				if call, ok := unparen(rhs).(*ast.CallExpr); ok {
+					callFX(call, false)
+				}
+			}
+		case *ast.DeferStmt:
+			if class, name, ok := mutexClassOp(u.pkg, st.Call); ok {
+				if name == "Unlock" || name == "RUnlock" {
+					apply(class, false)
+				}
+				return
+			}
+			callFX(st.Call, true)
+		}
+	})
+	return fx
+}
+
+func classFXStable(a, b map[*types.Func][]classFX) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for f, afx := range a {
+		bfx, ok := b[f]
+		if !ok || len(afx) != len(bfx) {
+			return false
+		}
+		for i := range afx {
+			if afx[i] != bfx[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// acqWitness records where a summarized acquisition actually happens, for
+// report provenance.
+type acqWitness struct {
+	pos token.Pos
+	fn  string
+}
+
+// computeLockAcq summarizes, per declared function, every lock class it
+// MAY acquire on its synchronous path — directly or through module
+// callees at any depth (a may-union fixpoint, unlike the net effects
+// above: an acquire-then-release still establishes lock order). The
+// journal is NOT exempt here: its mutex participates in ordering like any
+// other.
+func computeLockAcq(units []*funcUnit) map[*types.Func]map[string]acqWitness {
+	acq := make(map[*types.Func]map[string]acqWitness)
+	edges := make(map[*types.Func][]*types.Func)
+	for _, u := range units {
+		if u.obj == nil {
+			continue
+		}
+		set := make(map[string]acqWitness)
+		syncWalk(u.body(), func(n ast.Node) {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if class, name, ok := mutexClassOp(u.pkg, st.X); ok && (name == "Lock" || name == "RLock") {
+					if _, seen := set[class]; !seen {
+						set[class] = acqWitness{pos: st.Pos(), fn: fnDisplayName(u)}
+					}
+				}
+			case *ast.CallExpr:
+				if f := calleeFunc(u.pkg, st); f != nil && f.Pkg() != nil &&
+					strings.HasPrefix(f.Pkg().Path(), "deta/") {
+					edges[u.obj] = append(edges[u.obj], f)
+				}
+			}
+		})
+		if len(set) > 0 {
+			acq[u.obj] = set
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, u := range units {
+			if u.obj == nil {
+				continue
+			}
+			for _, callee := range edges[u.obj] {
+				for class, w := range acq[callee] {
+					set := acq[u.obj]
+					if set == nil {
+						set = make(map[string]acqWitness)
+						acq[u.obj] = set
+					}
+					if _, ok := set[class]; !ok {
+						set[class] = w
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return acq
+}
+
 // fnDisplayName names a function unit for report messages.
 func fnDisplayName(u *funcUnit) string {
 	if u.decl != nil {

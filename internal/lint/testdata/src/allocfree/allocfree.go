@@ -1,0 +1,106 @@
+// Package core poses as deta/internal/core for the allocfree fixture:
+// functions annotated //perf:hotpath must not allocate — make/new/append,
+// map writes, defer-in-loop, interface boxing, and calls into allocating
+// module helpers are all findings; exempt and trusted shapes are not.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// hotDirect exercises every direct allocation form in one region.
+//
+//perf:hotpath
+func hotDirect(dst []byte, m map[string]int, keys []string) []byte {
+	buf := make([]byte, 8)    // want allocfree
+	dst = append(dst, buf...) // want allocfree
+	p := new(int)             // want allocfree
+	_ = p
+	for _, k := range keys {
+		m[k] = len(k)    // want allocfree
+		defer release(k) // want allocfree
+	}
+	return dst
+}
+
+// hotBoxing passes a concrete scalar to an interface parameter: the
+// argument is boxed and escapes.
+//
+//perf:hotpath
+func hotBoxing(n int) {
+	consume(n) // want allocfree
+}
+
+func consume(v any) { _ = v }
+
+// hotCallee calls an unannotated module function whose body allocates:
+// the allocation effect propagates to the call site.
+//
+//perf:hotpath
+func hotCallee(n int) []int {
+	return slowPath(n) // want allocfree
+}
+
+func slowPath(n int) []int {
+	out := make([]int, n)
+	return out
+}
+
+// hotTrusted calls another annotated function: hot callees are trusted
+// at the call site — their own bodies are checked where they live.
+//
+//perf:hotpath
+func hotTrusted(dst []byte) []byte {
+	return trusted(dst)
+}
+
+//perf:hotpath
+func trusted(dst []byte) []byte {
+	return append(dst, 0) // want allocfree
+}
+
+// hotErr hits the exempt error constructors: error paths are cold by
+// definition and fmt.Errorf/errors.New stay allowed.
+//
+//perf:hotpath
+func hotErr(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative count %d", n)
+	}
+	if n > 1<<20 {
+		return errors.New("count too large")
+	}
+	return nil
+}
+
+// hotClean reuses caller-provided storage only: index assignments into an
+// existing slice, pointer args, integer arithmetic — nothing allocates.
+//
+//perf:hotpath
+func hotClean(dst, src []float64, scale float64) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = src[i] * scale
+	}
+}
+
+// A floating directive that is not a function's doc comment is malformed:
+// the annotation would silently check nothing.
+//
+//lint:example
+var hotTableSize = 64
+
+//perf:hotpath // want allocfree
+const hotBatch = 32
+
+// An annotated declaration with no body (assembly or linkname stub) is
+// also malformed — there is nothing to check here.
+//
+//perf:hotpath // want allocfree
+func hotAsmStub(dst, src []byte) int
+
+func release(string) {}

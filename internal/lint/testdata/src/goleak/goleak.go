@@ -1,0 +1,118 @@
+// Package core poses as deta/internal/core for the goleak fixture:
+// goroutines that can block forever on channel operations with no escape
+// edge are leaks; bodies with a ctx-done/close-signal escape, and
+// close-driven worker ranges, are clean.
+package core
+
+import (
+	"context"
+	"time"
+)
+
+// A named function that ranges over a ticker channel with no way out:
+// ticker channels are never closed, so the goroutine can never exit.
+func spawnTickerLeak(interval time.Duration) *time.Ticker {
+	t := time.NewTicker(interval)
+	go tickLoop(t) // want goleak
+	return t
+}
+
+func tickLoop(t *time.Ticker) {
+	for range t.C {
+		work()
+	}
+}
+
+// A ctx-less select inside an infinite for: nothing ever returns or
+// breaks, so once the channel goes quiet the goroutine is pinned forever.
+func spawnSelectLeak(ch chan int) {
+	go func() { // want goleak
+		for {
+			select {
+			case v := <-ch:
+				sink(v)
+			}
+		}
+	}()
+}
+
+// A wrapper that unconditionally runs a blocker blocks too (summary
+// propagation through the call edge).
+func spawnWrapped(t *time.Ticker) {
+	go runForever(t) // want goleak
+}
+
+func runForever(t *time.Ticker) {
+	runtimeSetup()
+	tickLoop(t)
+}
+
+func runtimeSetup() {}
+
+// Clean: the select has a ctx.Done escape that returns.
+func spawnClean(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				sink(v)
+			}
+		}
+	}()
+}
+
+// Clean: a close-driven worker range over an ordinary channel — the
+// sender closing the channel IS the exit, the idiomatic pool-worker shape.
+func spawnWorkerClean(tasks chan func()) {
+	go func() {
+		for f := range tasks {
+			f()
+		}
+	}()
+}
+
+// Clean: ticker loop with a done-channel escape.
+func spawnTickerClean(done chan struct{}, interval time.Duration) {
+	t := time.NewTicker(interval)
+	go func() {
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				work()
+			}
+		}
+	}()
+}
+
+// Clean: the blocker is only reached conditionally — may-block is too
+// noisy to report as a certain leak.
+func spawnMaybe(t *time.Ticker, debug bool) {
+	go func() {
+		if debug {
+			tickLoop(t)
+		}
+	}()
+}
+
+// Clean: a break at the loop's own level escapes, even from inside the
+// select's case body (break there targets the select, but the loop-level
+// one below it counts).
+func spawnBreakClean(ch chan int) {
+	go func() {
+		for {
+			v, ok := <-ch
+			if !ok {
+				break
+			}
+			sink(v)
+		}
+	}()
+}
+
+func work()    {}
+func sink(int) {}

@@ -1,0 +1,51 @@
+package core
+
+import "sync"
+
+// depth2.go: a lock-order cycle visible only through two levels of
+// helpers — the held set comes from a helper-of-a-helper (class-level
+// net lock effects to a fixpoint) and the acquisition comes from a
+// different helper chain (the may-acquire fixpoint). No function in this
+// file touches both mutexes directly.
+
+type Outer struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Inner struct {
+	mu sync.Mutex
+	n  int
+}
+
+// cycleOI holds Outer.mu (via two helper levels) while grabInner — which
+// only locks Inner.mu two calls down — runs: edge Outer.mu -> Inner.mu.
+// This file sorts before lockorder.go, so this cycle's anchor is here.
+func cycleOI(o *Outer, in *Inner) {
+	o.hold()
+	defer o.release()
+	grabInner(in) // want lockorder
+}
+
+// cycleIO closes it: Inner.mu held directly while Outer.mu is acquired
+// through the helper chain.
+func cycleIO(o *Outer, in *Inner) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	o.hold()
+	o.release()
+}
+
+func (o *Outer) hold() { o.lockDeep() }
+func (o *Outer) lockDeep() {
+	o.mu.Lock()
+	o.n++
+}
+func (o *Outer) release() { o.mu.Unlock() }
+
+func grabInner(in *Inner) { grabInner2(in) }
+func grabInner2(in *Inner) {
+	in.mu.Lock()
+	in.n++
+	in.mu.Unlock()
+}

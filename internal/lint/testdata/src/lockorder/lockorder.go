@@ -1,0 +1,94 @@
+// Package core poses as deta/internal/core for the lockorder fixture:
+// opposite acquisition orders between two mutex classes form a cycle in
+// the order graph; consistent orders and independent locks do not.
+package core
+
+import "sync"
+
+type Alpha struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Beta struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lockAB acquires Alpha.mu then Beta.mu. The Beta acquisition is the
+// cycle's earliest edge in source order, so the finding anchors here.
+func lockAB(a *Alpha, b *Beta) {
+	a.mu.Lock()
+	b.mu.Lock() // want lockorder
+	b.n++
+	b.mu.Unlock()
+	a.n++
+	a.mu.Unlock()
+}
+
+// lockBA closes the cycle: Beta.mu then Alpha.mu.
+func lockBA(a *Alpha, b *Beta) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+	b.n++
+	b.mu.Unlock()
+}
+
+// Consistent ordering between two other classes: edges exist, but the
+// graph stays acyclic — no finding.
+type Gamma struct{ mu sync.Mutex }
+type Delta struct{ mu sync.Mutex }
+
+func consistentOne(g *Gamma, d *Delta) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+func consistentTwo(g *Gamma, d *Delta) {
+	g.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// Recursive acquisition through a helper: a self-loop in the class
+// graph. Go mutexes are not reentrant, so this deadlocks outright.
+type Rec struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (r *Rec) outer() {
+	r.mu.Lock()
+	r.relock() // want lockorder
+	r.mu.Unlock()
+}
+
+func (r *Rec) relock() {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+// Sequential (non-nested) acquisitions: the first lock is released
+// before the second is taken, so no edge and no cycle with lockBA2.
+type Eps struct{ mu sync.Mutex }
+type Zeta struct{ mu sync.Mutex }
+
+func sequentialEZ(e *Eps, z *Zeta) {
+	e.mu.Lock()
+	e.mu.Unlock()
+	z.mu.Lock()
+	z.mu.Unlock()
+}
+
+func sequentialZE(e *Eps, z *Zeta) {
+	z.mu.Lock()
+	z.mu.Unlock()
+	e.mu.Lock()
+	e.mu.Unlock()
+}

@@ -16,6 +16,8 @@ var vecPool sync.Pool
 // callers must overwrite every element (the codec decode and the fused
 // transform both do). Pass the buffer to PutVector when its lifetime
 // ends; keeping it forever is also fine — the pool is best-effort.
+//
+//perf:hotpath
 func GetVector(n int) Vector {
 	if p, ok := vecPool.Get().(*Vector); ok {
 		if cap(*p) >= n {
@@ -23,12 +25,15 @@ func GetVector(n int) Vector {
 		}
 		// Too small for this request; drop it and let GC reclaim.
 	}
+	//lint:ignore allocfree pool-miss fallback: this make is the one allocation the pool exists to amortize
 	return make(Vector, n)
 }
 
 // PutVector returns v's backing storage to the pool. The caller must not
 // touch v afterwards: any retained alias would race with the next
 // GetVector user. Nil and zero-capacity vectors are ignored.
+//
+//perf:hotpath
 func PutVector(v Vector) {
 	if cap(v) == 0 {
 		return

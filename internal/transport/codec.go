@@ -139,6 +139,8 @@ type Fragment struct {
 // nil) and returns the extended slice. One exact-size allocation when
 // dst lacks capacity; float bits are copied verbatim, so NaN payloads,
 // ±Inf, and -0.0 survive bit-identically.
+//
+//perf:hotpath
 func AppendFragment(dst []byte, f *Fragment) ([]byte, error) {
 	if f.Round < 0 || int64(f.Round) > math.MaxUint32 {
 		return nil, fmt.Errorf("transport: fragment round %d outside uint32 range", f.Round)
@@ -154,6 +156,7 @@ func AppendFragment(dst []byte, f *Fragment) ([]byte, error) {
 		return nil, fmt.Errorf("transport: fragment of %d bytes exceeds frame limit", need)
 	}
 	if cap(dst)-len(dst) < need {
+		//lint:ignore allocfree single exact-size grow when the caller's buffer lacks capacity
 		grown := make([]byte, len(dst), len(dst)+need)
 		copy(grown, dst)
 		dst = grown
@@ -166,10 +169,13 @@ func AppendFragment(dst []byte, f *Fragment) ([]byte, error) {
 	binary.LittleEndian.PutUint32(hdr[8:12], uint32(f.Index))
 	binary.LittleEndian.PutUint64(hdr[12:20], math.Float64bits(f.Weight))
 	binary.LittleEndian.PutUint16(hdr[20:22], uint16(len(f.PartyID)))
+	//lint:ignore allocfree capacity reserved above; this append cannot grow
 	dst = append(dst, hdr[:]...)
+	//lint:ignore allocfree capacity reserved above; this append cannot grow
 	dst = append(dst, f.PartyID...)
 	var cnt [fragCountLen]byte
 	binary.LittleEndian.PutUint32(cnt[:], uint32(len(f.Values)))
+	//lint:ignore allocfree capacity reserved above; this append cannot grow
 	dst = append(dst, cnt[:]...)
 	at := len(dst)
 	dst = dst[:at+8*len(f.Values)]
@@ -185,6 +191,8 @@ func AppendFragment(dst []byte, f *Fragment) ([]byte, error) {
 // allocation: a lying element count or party length is an error, never a
 // multi-GiB make. Values lands in a pooled tensor buffer — hand it to
 // tensor.PutVector when done, or keep it; the pool is best-effort.
+//
+//perf:hotpath
 func DecodeFragment(data []byte, f *Fragment) error {
 	if !IsWire(data) {
 		return fmt.Errorf("transport: fragment body lacks codec magic")

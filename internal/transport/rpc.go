@@ -58,6 +58,7 @@ type response struct {
 // lifetime is exactly one call.
 var frameBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
+//perf:hotpath
 func writeFrame(w io.Writer, v any) error {
 	buf := frameBufPool.Get().(*bytes.Buffer)
 	defer frameBufPool.Put(buf)
@@ -77,6 +78,7 @@ func writeFrame(w io.Writer, v any) error {
 	return err
 }
 
+//perf:hotpath
 func readFrame(r io.Reader, v any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -100,6 +102,8 @@ func readFrame(r io.Reader, v any) error {
 // before the read starves and fails — never an up-front multi-hundred-MiB
 // allocation. Applies identically whether the body carries a gob envelope
 // or a fixed-layout codec payload.
+//
+//perf:hotpath
 func readBody(r io.Reader, n int) ([]byte, error) {
 	const seed = 64 << 10
 	if n <= seed {
