@@ -28,6 +28,11 @@ import (
 	"deta/internal/transport"
 )
 
+// clk is the process clock. Sleeps, retries, and the liveness ticker all
+// go through this seam (core.SystemClock in production) so tests can
+// substitute core.FakeClock and step the sync loops deterministically.
+var clk core.Clock = core.SystemClock
+
 func main() {
 	id := flag.String("id", "agg-1", "aggregator identifier")
 	listen := flag.String("listen", "127.0.0.1:7101", "address to serve parties on")
@@ -146,8 +151,10 @@ func main() {
 		}
 		// Resume sync past rounds the recovered journal already fused —
 		// evicted rounds would otherwise never report Complete and wedge
-		// the initiator at round 1.
-		startInitiatorSync(node, followers, *peerTimeout, node.LastAggregatedRound()+1)
+		// the initiator at round 1. As with the liveness ticker, the
+		// process context exists to give the sync goroutines an escape
+		// edge (goleak), not because main cancels them today.
+		startInitiatorSync(context.Background(), node, followers, *peerTimeout, node.LastAggregatedRound()+1)
 		log.Printf("acting as initiator with %d followers", len(followers))
 	}
 	cancelDial()
@@ -207,17 +214,17 @@ func dialPeers(ctx context.Context, mat *transport.TLSMaterials, spec, tlsName s
 // pushing. Evictions are journaled by the node before taking effect, so a
 // crash right after one replays to the same membership.
 func livenessTicker(ctx context.Context, node *core.AggregatorNode, interval time.Duration) {
-	tick := time.NewTicker(interval)
-	defer tick.Stop()
 	// Evictions can also be performed by the reap that runs on every
 	// heartbeat receipt, between ticks; diff the evicted set rather than
 	// relying on Tick's own return so every eviction gets a log line.
+	// Re-armed clk.After instead of a ticker: liveness needs no catch-up
+	// semantics, and the clock seam keeps the loop FakeClock-drivable.
 	known := map[string]bool{}
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-tick.C:
+		case <-clk.After(interval):
 		}
 		node.Tick()
 		cur := map[string]bool{}
@@ -246,8 +253,8 @@ func livenessTicker(ctx context.Context, node *core.AggregatorNode, interval tim
 // fused every round (fusion is idempotent on both sides, and the
 // restarted follower recovers its uploads from its journal). startRound
 // lets a journal-recovered initiator resume past rounds it already fused
-// before the crash.
-func startInitiatorSync(node *core.AggregatorNode, followers map[string]*core.AggregatorClient, peerTimeout time.Duration, startRound int) {
+// before the crash. ctx cancellation stops every goroutine started here.
+func startInitiatorSync(ctx context.Context, node *core.AggregatorNode, followers map[string]*core.AggregatorClient, peerTimeout time.Duration, startRound int) {
 	if startRound < 1 {
 		startRound = 1
 	}
@@ -261,17 +268,21 @@ func startInitiatorSync(node *core.AggregatorNode, followers map[string]*core.Ag
 			var failures int
 			for {
 				if int64(next) > latestFused.Load() {
-					time.Sleep(20 * time.Millisecond)
+					if !pace(ctx, 20*time.Millisecond) {
+						return
+					}
 					continue
 				}
-				ctx, cancel := context.WithTimeout(context.Background(), peerTimeout)
-				err := syncFollower(ctx, f, next)
+				callCtx, cancel := context.WithTimeout(ctx, peerTimeout)
+				err := syncFollower(callCtx, f, next)
 				cancel()
 				if err != nil {
 					if failures++; failures == 1 || failures%50 == 0 {
 						log.Printf("round %d: follower %s: %v (retrying)", next, id, err)
 					}
-					time.Sleep(200 * time.Millisecond)
+					if !pace(ctx, 200*time.Millisecond) {
+						return
+					}
 					continue
 				}
 				failures = 0
@@ -296,7 +307,9 @@ func startInitiatorSync(node *core.AggregatorNode, followers map[string]*core.Ag
 			case complete:
 				if err := node.Aggregate(round); err != nil {
 					log.Printf("round %d: local aggregate: %v", round, err)
-					time.Sleep(20 * time.Millisecond)
+					if !pace(ctx, 20*time.Millisecond) {
+						return
+					}
 					continue
 				}
 				latestFused.Store(int64(round))
@@ -304,9 +317,23 @@ func startInitiatorSync(node *core.AggregatorNode, followers map[string]*core.Ag
 				round++
 				continue
 			}
-			time.Sleep(20 * time.Millisecond)
+			if !pace(ctx, 20*time.Millisecond) {
+				return
+			}
 		}
 	}()
+}
+
+// pace sleeps one polling interval through the clock seam, returning
+// false when ctx ends first — the caller's loop must exit then, which is
+// also what makes the sync goroutines structurally stoppable.
+func pace(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-clk.After(d):
+		return true
+	}
 }
 
 // syncFollower waits for the follower to have all uploads, then triggers
@@ -327,7 +354,7 @@ func syncFollower(ctx context.Context, f *core.AggregatorClient, round int) erro
 		select {
 		case <-ctx.Done():
 			return fmt.Errorf("waiting for follower uploads: %w", ctx.Err())
-		case <-time.After(20 * time.Millisecond):
+		case <-clk.After(20 * time.Millisecond):
 		}
 	}
 }

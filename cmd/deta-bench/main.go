@@ -29,12 +29,18 @@ import (
 	"sync"
 	"time"
 
+	"deta/internal/core"
 	"deta/internal/experiments"
 	"deta/internal/perf"
 )
 
 // osExit is swappable so tests can observe the watchdog exit path.
 var osExit = os.Exit
+
+// clk is the process clock behind the watchdog timer (core.SystemClock in
+// production); injectable alongside osExit so tests can fire the watchdog
+// without real waiting.
+var clk core.Clock = core.SystemClock
 
 // lockedWriter serializes writes so the watchdog can flush partial
 // results from its own goroutine without racing the experiment writer.
@@ -89,13 +95,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // startWatchdog arms the -timeout watchdog. Exposed as a function so the
-// flush-then-exit path is testable in-process.
-func startWatchdog(d time.Duration, out *lockedWriter, stderr io.Writer) *time.Timer {
-	return time.AfterFunc(d, func() {
+// flush-then-exit path is testable in-process; the wait goes through clk
+// so the timer respects the clock seam (nobody ever stopped the returned
+// *time.Timer, so a plain goroutine is equivalent and simpler).
+func startWatchdog(d time.Duration, out *lockedWriter, stderr io.Writer) {
+	go func() {
+		<-clk.After(d)
 		_ = out.Flush()
 		fmt.Fprintf(stderr, "deta-bench: watchdog: run exceeded -timeout=%v; partial results flushed\n", d)
 		osExit(3)
-	})
+	}()
 }
 
 // benchFlags bundles the parsed flag set.

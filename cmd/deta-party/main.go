@@ -36,6 +36,11 @@ import (
 	"deta/internal/transport"
 )
 
+// clk is the process clock. Everything that sleeps or waits goes through
+// this seam (core.SystemClock in production) so tests can substitute
+// core.FakeClock and drive retries and heartbeats deterministically.
+var clk core.Clock = core.SystemClock
+
 func main() {
 	id := flag.String("id", "P1", "party identifier (must be unique)")
 	index := flag.Int("index", 0, "this party's shard index in [0, parties)")
@@ -256,7 +261,7 @@ func retryStep(ctx context.Context, timeout time.Duration, round int, what strin
 		select {
 		case <-rctx.Done():
 			return fmt.Errorf("%s: %w (last error: %v)", what, rctx.Err(), last)
-		case <-time.After(b.Delay(i)):
+		case <-clk.After(b.Delay(i)):
 		}
 	}
 }
@@ -265,13 +270,14 @@ func retryStep(ctx context.Context, timeout time.Duration, round int, what strin
 // tracker while it trains. Best-effort fan-out: silence toward an
 // unreachable aggregator is exactly what its tracker should observe.
 func heartbeatLoop(ctx context.Context, fleet *core.Fleet, id string, interval time.Duration) {
-	tick := time.NewTicker(interval)
-	defer tick.Stop()
+	// Re-armed clk.After instead of a ticker: a heartbeat measured from
+	// the previous beat's completion is fine (no catch-up semantics
+	// wanted), and the clock seam keeps the loop drivable by FakeClock.
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-tick.C:
+		case <-clk.After(interval):
 			acked, rejoinedAt := fleet.HeartbeatAll(ctx, id)
 			if len(rejoinedAt) > 0 {
 				log.Printf("heartbeat: rejoined at %v", rejoinedAt)

@@ -53,6 +53,11 @@ type AggregatorNode struct {
 	// journal, when non-nil, is the durable round-state log. Mutations
 	// append to it (fsync-on-commit) before acknowledging.
 	journal *journal.Journal
+	// walBuf is the reused encode scratch for fragment WAL records:
+	// journal.Append copies the frame out synchronously, so the buffer is
+	// free again when logFragmentDurable returns. Guarded by mu like
+	// every caller; ephemeral, never journaled or recovered.
+	walBuf []byte
 	// compactEvery bounds the journal tail before a snapshot+truncate
 	// compaction (0 = default).
 	compactEvery int
@@ -225,35 +230,43 @@ func (a *AggregatorNode) upload(round int, partyID string, frag tensor.Vector, w
 	}
 	a.lastSeen[partyID] = now
 	rs, ok := a.rounds[round]
+	if ok {
+		if prev, dup := rs.fragments[partyID]; dup {
+			// Identical retries stay idempotent even after the round seals, so
+			// a party that hit an ambiguous failure pre-seal can still confirm.
+			if fragEqual(prev, frag) && rs.weights[partyID] == weight {
+				return nil // identical retry: already committed
+			}
+			return fmt.Errorf("%w %d from %q", ErrDuplicateUpload, round, partyID)
+		}
+		if a.lifecycleOnLocked(rs) {
+			switch ph := a.phaseLocked(rs, now); ph {
+			case PhaseAbandoned:
+				return fmt.Errorf("%w: round %d", ErrRoundAbandoned, round)
+			case PhaseSealed, PhaseFused:
+				return fmt.Errorf("%w: round %d is %s", ErrStragglerCut, round, ph)
+			}
+		}
+	}
+	// WAL before ack — and before any durable mutation: the round is
+	// created only after its first fragment is safely journaled, so a
+	// failed append leaves no phantom round to roll back. A brand-new
+	// round needs no duplicate or lifecycle check: its maps are empty and
+	// a round opening right now is by definition in PhaseOpen.
+	if err := a.logFragmentDurable(recUpload2, partyID, round, frag, weight); err != nil {
+		return fmt.Errorf("core: aggregator %s journaling upload: %w", a.ID, err)
+	}
 	if !ok {
 		rs = newRoundState()
 		rs.openedAt = now
 		a.rounds[round] = rs
 	}
-	if prev, dup := rs.fragments[partyID]; dup {
-		// Identical retries stay idempotent even after the round seals, so
-		// a party that hit an ambiguous failure pre-seal can still confirm.
-		if fragEqual(prev, frag) && rs.weights[partyID] == weight {
-			return nil // identical retry: already committed
-		}
-		return fmt.Errorf("%w %d from %q", ErrDuplicateUpload, round, partyID)
-	}
-	if a.lifecycleOnLocked(rs) {
-		switch ph := a.phaseLocked(rs, now); ph {
-		case PhaseAbandoned:
-			return fmt.Errorf("%w: round %d", ErrRoundAbandoned, round)
-		case PhaseSealed, PhaseFused:
-			return fmt.Errorf("%w: round %d is %s", ErrStragglerCut, round, ph)
-		}
-	}
-	if err := a.logFragmentDurable(recUpload2, partyID, round, frag, weight); err != nil {
-		if !ok {
-			delete(a.rounds, round) // don't leave a phantom empty round
-		}
-		return fmt.Errorf("core: aggregator %s journaling upload: %w", a.ID, err)
-	}
 	if !owned {
-		frag = frag.Clone()
+		// Defensive copy into pooled storage: GetVector reuses retired
+		// fragment buffers, where Clone allocated a fresh slab per upload.
+		buf := tensor.GetVector(len(frag))
+		copy(buf, frag)
+		frag = buf
 	}
 	rs.fragments[partyID] = frag
 	rs.weights[partyID] = weight

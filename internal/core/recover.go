@@ -299,18 +299,23 @@ func (a *AggregatorNode) applyAggregated(round int, fused tensor.Vector) {
 // logFragmentDurable commits a fragment-carrying record (fsync) before
 // the caller acknowledges the mutation, encoding the payload with the
 // fixed-layout wire codec — the same encoding the fragment arrived in —
-// instead of gob. With no journal attached it is a no-op. Callers must
-// hold a.mu.
+// instead of gob. The encoding reuses a.walBuf, so steady-state uploads
+// journal without allocating; the journal copies the record out before
+// Append returns, which is what makes the reuse safe. With no journal
+// attached it is a no-op. Callers must hold a.mu.
+//
+//perf:hotpath
 func (a *AggregatorNode) logFragmentDurable(typ uint8, party string, round int, frag tensor.Vector, weight float64) error {
 	if a.journal == nil {
 		return nil
 	}
-	data, err := transport.AppendFragment(nil, &transport.Fragment{
+	data, err := transport.AppendFragment(a.walBuf[:0], &transport.Fragment{
 		Round: round, PartyID: party, Weight: weight, Values: frag,
 	})
 	if err != nil {
 		return err
 	}
+	a.walBuf = data
 	return a.journal.Append(typ, data)
 }
 

@@ -490,3 +490,58 @@ func TestSnapshotPartiesSorted(t *testing.T) {
 		}
 	}
 }
+
+// Regression for the WAL-before-ack ordering in upload (pinned by the
+// waldisc analyzer): a failed durable append must leave no trace in
+// memory. In particular the first upload of a new round must not create
+// the round ahead of the journal write — the old code inserted it first
+// and rolled it back on error, exactly the mutate-before-append shape
+// waldisc rejects.
+func TestUploadJournalFailureLeavesNoPhantomRound(t *testing.T) {
+	proxy, vendor := testTrust(t)
+	cvm := provisionCVM(t, proxy, vendor, "agg-wal")
+	dir := t.TempDir()
+	node, _, err := RecoverAggregatorNode("agg-wal", agg.IterativeAverage{}, cvm, dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Register("P1")
+	node.Register("P2")
+	if err := node.Upload(1, "P1", tensor.Vector{1, 2}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the journal out from under the node: every later durable
+	// append fails with journal.ErrClosed, as a full disk or torn-away
+	// volume would fail it.
+	node.mu.Lock()
+	j := node.journal
+	node.mu.Unlock()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First upload of a NEW round: the error must surface and no phantom
+	// round may appear.
+	if err := node.Upload(2, "P1", tensor.Vector{3, 4}, 1); !errors.Is(err, journal.ErrClosed) {
+		t.Fatalf("upload to new round with dead journal: err = %v, want journal.ErrClosed", err)
+	}
+	node.mu.Lock()
+	_, phantom := node.rounds[2]
+	node.mu.Unlock()
+	if phantom {
+		t.Fatal("failed journal append left a phantom round 2 in memory")
+	}
+
+	// Upload into the EXISTING round: the fragment must not be stored —
+	// an acknowledged-in-memory fragment the journal never saw would
+	// vanish on recovery.
+	if err := node.Upload(1, "P2", tensor.Vector{9, 9}, 1); !errors.Is(err, journal.ErrClosed) {
+		t.Fatalf("upload to existing round with dead journal: err = %v, want journal.ErrClosed", err)
+	}
+	node.mu.Lock()
+	_, stored := node.rounds[1].fragments["P2"]
+	node.mu.Unlock()
+	if stored {
+		t.Fatal("failed journal append left P2's fragment in memory")
+	}
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+)
+
+// ClockDisc enforces the clock-injection discipline that keeps the
+// aggregator testable and recoverable: all time flows through the
+// injectable core.Clock (FakeClock in tests, restamping during
+// recovery), so any direct call into package time's clock surface inside
+// internal/core or the cmd binaries bypasses the seam — a FakeClock test
+// would silently run on wall time, and recovery restamping would race the
+// real clock. clock.go is the one sanctioned implementation file (the
+// systemClock behind core.SystemClock) and is exempt.
+//
+// Purely syntactic, complementing the deeper analyzers: replaypure scopes
+// wall-clock reads to replay-reachable code module-wide; clockdisc covers
+// the whole core/cmd surface including timers and sleeps that never reach
+// replay. Constructors like time.Date and conversions like time.Unix are
+// allowed — they compute with time values rather than reading the clock.
+type ClockDisc struct{}
+
+func (ClockDisc) Name() string { return "clockdisc" }
+func (ClockDisc) Doc() string {
+	return "flag direct wall-clock and timer calls in internal/core and cmd that bypass the injectable core.Clock"
+}
+
+// clockSurface is package time's ambient-clock API: readings, sleeps, and
+// timer constructors.
+var clockSurface = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true,
+}
+
+func (ClockDisc) Run(pkg *Package, r *Reporter) {
+	if pkg.Path != "deta/internal/core" && !pathIn(pkg.Path, "deta/cmd") {
+		return
+	}
+	for _, file := range pkg.Files {
+		pos := pkg.Fset.Position(file.Pos())
+		if filepath.Base(pos.Filename) == "clock.go" {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !clockSurface[fn.Name()] {
+				return true
+			}
+			r.Reportf(call.Pos(),
+				"direct wall-clock call time.%s bypasses the injectable core.Clock (FakeClock tests and recovery restamping break)",
+				fn.Name())
+			return true
+		})
+	}
+}

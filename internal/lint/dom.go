@@ -1,0 +1,140 @@
+package lint
+
+// dom.go computes a dominator tree over the per-function CFGs of cfg.go,
+// giving analyzers a *must* primitive to pair with dataflow.go's forward
+// may-solver: block A dominates block B when every path from entry to B
+// passes through A. waldisc uses this for the WAL-before-ack invariant —
+// a journal append guards a durable mutation only when it happens on ALL
+// paths to it, i.e. in the same block earlier or in a strictly dominating
+// block.
+//
+// The algorithm is the iterative one of Cooper, Harvey & Kennedy ("A
+// Simple, Fast Dominance Algorithm"): number blocks in reverse postorder,
+// then repeatedly intersect predecessor idoms until fixpoint. Our CFGs
+// are tiny (tens of blocks), so the simple O(n²)-worst-case iteration is
+// preferable to Lengauer-Tarjan.
+
+// domTree is the dominator tree of one cfg. Unreachable blocks (dead
+// continuations after return/break, unresolved labels) have no entry in
+// either map: they dominate nothing and are dominated by nothing.
+type domTree struct {
+	entry *cfgBlock
+	idom  map[*cfgBlock]*cfgBlock // immediate dominator; entry maps to nil
+	rpo   map[*cfgBlock]int       // reverse-postorder number of reachable blocks
+}
+
+// buildDomTree computes the dominator tree for c. Only blocks reachable
+// from c.entry participate.
+func buildDomTree(c *cfg) *domTree {
+	d := &domTree{
+		entry: c.entry,
+		idom:  make(map[*cfgBlock]*cfgBlock),
+		rpo:   make(map[*cfgBlock]int),
+	}
+
+	// Iterative postorder DFS from entry; reversing yields RPO.
+	var order []*cfgBlock
+	seen := map[*cfgBlock]bool{c.entry: true}
+	type frame struct {
+		blk *cfgBlock
+		i   int // next successor index to visit
+	}
+	stack := []frame{{blk: c.entry}}
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.i < len(top.blk.succs) {
+			s := top.blk.succs[top.i]
+			top.i++
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, frame{blk: s})
+			}
+			continue
+		}
+		order = append(order, top.blk)
+		stack = stack[:len(stack)-1]
+	}
+	// order is postorder; number in reverse.
+	n := len(order)
+	rpoBlocks := make([]*cfgBlock, n)
+	for i, blk := range order {
+		num := n - 1 - i
+		d.rpo[blk] = num
+		rpoBlocks[num] = blk
+	}
+
+	// Predecessor lists restricted to reachable blocks.
+	preds := make(map[*cfgBlock][]*cfgBlock, n)
+	for _, blk := range rpoBlocks {
+		for _, s := range blk.succs {
+			if seen[s] {
+				preds[s] = append(preds[s], blk)
+			}
+		}
+	}
+
+	// Fixpoint. idom[entry] = entry during iteration (the algorithm's
+	// sentinel for "processed"); rewritten to nil afterwards.
+	d.idom[c.entry] = c.entry
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range rpoBlocks {
+			if blk == c.entry {
+				continue
+			}
+			var newIdom *cfgBlock
+			for _, p := range preds[blk] {
+				if _, ok := d.idom[p]; !ok {
+					continue // predecessor not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && d.idom[blk] != newIdom {
+				d.idom[blk] = newIdom
+				changed = true
+			}
+		}
+	}
+	d.idom[c.entry] = nil
+	return d
+}
+
+// intersect walks the two idom chains upward (by RPO number) until they
+// meet; the meeting point dominates both arguments.
+func (d *domTree) intersect(a, b *cfgBlock) *cfgBlock {
+	for a != b {
+		for d.rpo[a] > d.rpo[b] {
+			a = d.idom[a]
+		}
+		for d.rpo[b] > d.rpo[a] {
+			b = d.idom[b]
+		}
+	}
+	return a
+}
+
+// reachable reports whether blk is reachable from the entry block.
+func (d *domTree) reachable(blk *cfgBlock) bool {
+	_, ok := d.rpo[blk]
+	return ok
+}
+
+// dominates reports whether a dominates b (reflexively: every block
+// dominates itself). Unreachable blocks dominate nothing and are
+// dominated by nothing.
+func (d *domTree) dominates(a, b *cfgBlock) bool {
+	if !d.reachable(a) || !d.reachable(b) {
+		return false
+	}
+	for b != nil {
+		if a == b {
+			return true
+		}
+		b = d.idom[b]
+	}
+	return false
+}

@@ -1,0 +1,331 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"math/rand"
+	"testing"
+)
+
+// --- hand-built graphs ------------------------------------------------
+
+// handCFG wires a cfg directly from an adjacency list so dominator tests
+// don't depend on buildCFG's shape choices. Block 0 is entry; the last
+// block is exit.
+func handCFG(t *testing.T, n int, edges [][2]int) *cfg {
+	t.Helper()
+	c := &cfg{}
+	blocks := make([]*cfgBlock, n)
+	for i := range blocks {
+		blocks[i] = &cfgBlock{}
+	}
+	c.blocks = blocks
+	c.entry = blocks[0]
+	c.exit = blocks[n-1]
+	for _, e := range edges {
+		edge(blocks[e[0]], blocks[e[1]])
+	}
+	return c
+}
+
+func TestDomTreeDiamond(t *testing.T) {
+	// 0 -> 1 -> {2,3} -> 4 -> 5(exit): classic diamond. The branch head 1
+	// dominates both arms and the join; neither arm dominates the join.
+	c := handCFG(t, 6, [][2]int{{0, 1}, {1, 2}, {1, 3}, {2, 4}, {3, 4}, {4, 5}})
+	d := buildDomTree(c)
+	b := c.blocks
+
+	wantIdom := map[int]int{1: 0, 2: 1, 3: 1, 4: 1, 5: 4}
+	for blk, want := range wantIdom {
+		if got := d.idom[b[blk]]; got != b[want] {
+			t.Errorf("idom[%d]: got block %d, want %d", blk, blockIndex(c, got), want)
+		}
+	}
+	if d.idom[c.entry] != nil {
+		t.Errorf("idom[entry] = %d, want nil", blockIndex(c, d.idom[c.entry]))
+	}
+	if d.dominates(b[2], b[4]) || d.dominates(b[3], b[4]) {
+		t.Errorf("a diamond arm must not dominate the join")
+	}
+	if !d.dominates(b[1], b[4]) || !d.dominates(b[0], b[5]) {
+		t.Errorf("branch head/entry must dominate join/exit")
+	}
+	if !d.dominates(b[2], b[2]) {
+		t.Errorf("dominance must be reflexive")
+	}
+}
+
+func TestDomTreeLoop(t *testing.T) {
+	// 0 -> 1(head) -> 2(body) -> 1, 1 -> 3(exit). The back edge must not
+	// disturb the head's dominance of body and exit.
+	c := handCFG(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 1}, {1, 3}})
+	d := buildDomTree(c)
+	b := c.blocks
+	if d.idom[b[1]] != b[0] || d.idom[b[2]] != b[1] || d.idom[b[3]] != b[1] {
+		t.Errorf("loop idoms wrong: idom[1]=%d idom[2]=%d idom[3]=%d",
+			blockIndex(c, d.idom[b[1]]), blockIndex(c, d.idom[b[2]]), blockIndex(c, d.idom[b[3]]))
+	}
+	if d.dominates(b[2], b[3]) {
+		t.Errorf("loop body must not dominate loop exit (the zero-iteration path skips it)")
+	}
+}
+
+func TestDomTreeUnreachable(t *testing.T) {
+	// Block 2 is disconnected: it neither dominates nor is dominated.
+	c := handCFG(t, 4, [][2]int{{0, 1}, {1, 3}})
+	d := buildDomTree(c)
+	b := c.blocks
+	if d.reachable(b[2]) {
+		t.Fatalf("disconnected block reported reachable")
+	}
+	if d.dominates(b[2], b[3]) || d.dominates(b[0], b[2]) || d.dominates(b[2], b[2]) {
+		t.Errorf("unreachable blocks must not participate in dominance")
+	}
+}
+
+func blockIndex(c *cfg, blk *cfgBlock) int {
+	for i, b := range c.blocks {
+		if b == blk {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- built-from-source graphs ----------------------------------------
+
+// parseBody parses src as a file and returns the CFG of the function
+// named fn.
+func parseBody(t *testing.T, src, fn string) *cfg {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "dom_test_src.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return buildCFG(fd.Body)
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil
+}
+
+// blockWithCall finds the reachable block containing a call to name.
+func blockWithCall(t *testing.T, c *cfg, name string) *cfgBlock {
+	t.Helper()
+	for _, blk := range c.blocks {
+		for _, n := range blk.nodes {
+			found := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if id, ok := x.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return blk
+			}
+		}
+	}
+	t.Fatalf("no block calls %s", name)
+	return nil
+}
+
+func TestDomTreeEarlyReturn(t *testing.T) {
+	// The statement after an early return is only reached on the non-return
+	// path, so the pre-return prefix dominates it but the return block's
+	// continuation does not exist on all paths.
+	c := parseBody(t, `package p
+func f(ok bool) {
+	before()
+	if !ok {
+		bail()
+		return
+	}
+	after()
+}
+func before() {}
+func bail()   {}
+func after()  {}
+`, "f")
+	d := buildDomTree(c)
+	before := blockWithCall(t, c, "before")
+	bail := blockWithCall(t, c, "bail")
+	after := blockWithCall(t, c, "after")
+	if !d.dominates(before, after) {
+		t.Errorf("prefix must dominate the post-branch statement")
+	}
+	if d.dominates(bail, after) {
+		t.Errorf("early-return arm must not dominate the fallthrough path")
+	}
+	if !d.dominates(before, c.exit) {
+		t.Errorf("prefix must dominate exit")
+	}
+}
+
+func TestDomTreeDefer(t *testing.T) {
+	// defer stays in its registration block (it runs at exit, but the CFG
+	// keeps it where registered); a defer inside a branch must not be seen
+	// as dominating the join.
+	c := parseBody(t, `package p
+func f(ok bool) {
+	if ok {
+		defer cleanup()
+	}
+	work()
+}
+func cleanup() {}
+func work()    {}
+`, "f")
+	if len(c.defers) != 1 {
+		t.Fatalf("got %d defers, want 1", len(c.defers))
+	}
+	d := buildDomTree(c)
+	deferBlk := blockWithCall(t, c, "cleanup")
+	workBlk := blockWithCall(t, c, "work")
+	if d.dominates(deferBlk, workBlk) {
+		t.Errorf("branch-local defer must not dominate the join")
+	}
+	if !d.dominates(c.entry, workBlk) {
+		t.Errorf("entry must dominate the join")
+	}
+}
+
+// --- backward must-analysis ------------------------------------------
+
+// callHit matches any node containing a call to name.
+func callHit(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+}
+
+func TestMustOnEveryPathBothBranches(t *testing.T) {
+	c := parseBody(t, `package p
+func f(ok bool) {
+	if ok {
+		hit()
+	} else {
+		hit()
+	}
+}
+func hit() {}
+`, "f")
+	if !mustOnEveryPath(c, callHit("hit")) {
+		t.Errorf("hit on both branches must hold on every path")
+	}
+}
+
+func TestMustOnEveryPathEarlyReturn(t *testing.T) {
+	c := parseBody(t, `package p
+func f(ok bool) {
+	if !ok {
+		return
+	}
+	hit()
+}
+func hit() {}
+`, "f")
+	if mustOnEveryPath(c, callHit("hit")) {
+		t.Errorf("early return bypasses hit; must-path answer should be false")
+	}
+}
+
+func TestMustOnEveryPathLoopBody(t *testing.T) {
+	// A hit only inside a conditional loop body is skipped on the
+	// zero-iteration path.
+	c := parseBody(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		hit()
+	}
+}
+func hit() {}
+`, "f")
+	if mustOnEveryPath(c, callHit("hit")) {
+		t.Errorf("loop body is not on every path")
+	}
+}
+
+// --- property test: idoms vs naive all-paths reachability -------------
+
+// naiveDominates: a dominates b iff b is unreachable from entry once a is
+// removed (and both are reachable to begin with). Reflexive by definition.
+func naiveDominates(c *cfg, a, b *cfgBlock) bool {
+	if a == b {
+		return reachableFrom(c.entry, b, nil)
+	}
+	if !reachableFrom(c.entry, a, nil) || !reachableFrom(c.entry, b, nil) {
+		return false
+	}
+	return !reachableFrom(c.entry, b, a)
+}
+
+func reachableFrom(start, target, removed *cfgBlock) bool {
+	if start == removed {
+		return false
+	}
+	seen := map[*cfgBlock]bool{}
+	stack := []*cfgBlock{start}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if blk == removed || seen[blk] {
+			continue
+		}
+		if blk == target {
+			return true
+		}
+		seen[blk] = true
+		stack = append(stack, blk.succs...)
+	}
+	return false
+}
+
+func TestDomTreePropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xDE7A))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(7) // 2..8 blocks
+		var edges [][2]int
+		// Random edges, biased toward forward ones so most blocks are
+		// reachable, with back edges mixed in for loops.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				p := 0.35
+				if j < i {
+					p = 0.15 // back edge
+				}
+				if rng.Float64() < p {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		c := handCFG(t, n, edges)
+		d := buildDomTree(c)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				got := d.dominates(c.blocks[i], c.blocks[j])
+				want := naiveDominates(c, c.blocks[i], c.blocks[j])
+				if got != want {
+					t.Fatalf("trial %d (n=%d, edges=%v): dominates(%d,%d) = %v, naive says %v",
+						trial, n, edges, i, j, got, want)
+				}
+			}
+		}
+	}
+}

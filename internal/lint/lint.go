@@ -25,11 +25,25 @@
 //   - allocfree:      functions annotated //perf:hotpath (and their
 //     synchronous callees) perform no allocations beyond the sanctioned,
 //     acknowledged sites
+//   - waldisc:        every durable aggregator state mutation is dominated
+//     on all CFG paths by a journal append of sufficient strength
+//     (WAL-before-ack)
+//   - replaypure:     no nondeterminism source (wall clock, global rand,
+//     goroutines, observable map order) is reachable from replay roots or
+//     fusion kernels
+//   - clockdisc:      internal/core and cmd never read the wall clock or
+//     arm timers directly — all time flows through the injectable
+//     core.Clock
 //
 // keytaint, lockregion, ctxflow, lockorder, goleak, and allocfree are
 // dataflow/summary analyzers: they run on per-function control-flow
 // graphs (cfg.go, dataflow.go) with module-wide call-graph summaries
 // (summary.go) computed once, up front, through the Preparer hook.
+// waldisc and replaypure form the protocol-invariant tier on top of the
+// must-analysis engine (dom.go, mustflow.go): dominance and
+// every-path-append facts that the forward may-solver cannot express.
+// One defect, one finding: a syntactic maporder hit on a line where
+// replaypure also reports is aliased to the replaypure finding by Run.
 //
 // A finding on a line can be acknowledged — never silently — with a
 // comment on that line or the line above:
@@ -131,6 +145,9 @@ func All() []Analyzer {
 		&LockOrder{},
 		&GoLeak{},
 		&AllocFree{},
+		WalDisc{},
+		&ReplayPure{},
+		ClockDisc{},
 	}
 }
 
@@ -174,6 +191,30 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 	var all []Finding
 	for _, fs := range results {
 		all = append(all, fs...)
+	}
+	// maporder/replaypure overlap: replaypure reruns the syntactic map-order
+	// checks under reachability scoping, so a line both analyzers hit is ONE
+	// defect — keep the replaypure finding (it carries replay provenance)
+	// and drop the maporder duplicate.
+	type fileLine struct {
+		file string
+		line int
+	}
+	replayLines := map[fileLine]bool{}
+	for _, f := range all {
+		if f.Analyzer == "replaypure" {
+			replayLines[fileLine{f.File, f.Line}] = true
+		}
+	}
+	if len(replayLines) > 0 {
+		kept := all[:0]
+		for _, f := range all {
+			if f.Analyzer == "maporder" && replayLines[fileLine{f.File, f.Line}] {
+				continue
+			}
+			kept = append(kept, f)
+		}
+		all = kept
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]

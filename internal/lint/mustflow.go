@@ -1,0 +1,85 @@
+package lint
+
+// mustflow.go is the backward must-analysis counterpart to dataflow.go's
+// forward may-solver. The single client question today: "does some node
+// matching a predicate execute on EVERY path from this point to function
+// exit?" — which is how waldisc decides whether an unexported helper is a
+// journal-append wrapper (every path through it appends) and therefore
+// transfers the guard to its call sites.
+//
+// The lattice is boolean with AND at block exit: a block's out-fact is
+// true only when every successor's in-fact is true, and in = gen ∨ out.
+// That is a greatest-fixpoint problem, so facts start at true and only
+// lower; blocks with no path to exit (infinite loops) keep vacuous truth,
+// which is the conservative answer for "nothing observable escapes".
+
+import "go/ast"
+
+// solveBackwardMust returns, per reachable block, whether a node matching
+// hit executes on every path from the START of that block to function
+// exit. Iteration order follows c.blocks (allocation order), so results
+// are deterministic.
+func solveBackwardMust(c *cfg, hit func(ast.Node) bool) map[*cfgBlock]bool {
+	// Restrict to blocks reachable from entry: dead continuations have
+	// arbitrary facts and must not influence real blocks (they can't —
+	// edges only leave them — but excluding them keeps the map honest).
+	reach := map[*cfgBlock]bool{}
+	stack := []*cfgBlock{c.entry}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reach[blk] {
+			continue
+		}
+		reach[blk] = true
+		for _, s := range blk.succs {
+			stack = append(stack, s)
+		}
+	}
+
+	gen := make(map[*cfgBlock]bool, len(reach))
+	for blk := range reach {
+		for _, n := range blk.nodes {
+			if hit(n) {
+				gen[blk] = true
+				break
+			}
+		}
+	}
+
+	in := make(map[*cfgBlock]bool, len(reach))
+	for blk := range reach {
+		in[blk] = true
+	}
+	if c.exit != nil && reach[c.exit] {
+		in[c.exit] = gen[c.exit]
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range c.blocks {
+			if !reach[blk] || blk == c.exit {
+				continue
+			}
+			out := len(blk.succs) > 0
+			for _, s := range blk.succs {
+				if !in[s] {
+					out = false
+					break
+				}
+			}
+			v := gen[blk] || out
+			if v != in[blk] {
+				in[blk] = v
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// mustOnEveryPath reports whether a node matching hit executes on every
+// path from function entry to exit.
+func mustOnEveryPath(c *cfg, hit func(ast.Node) bool) bool {
+	return solveBackwardMust(c, hit)[c.entry]
+}

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"deta/internal/perf"
+)
+
+// BenchmarkPerfSuite runs the lint area of the tracked perf suite
+// (internal/perf) under `go test -bench`, emitting the same stable bench
+// names the BENCH_lint.json baseline records. External test package: the
+// suite itself imports deta/internal/lint to drive the analyzers.
+func BenchmarkPerfSuite(b *testing.B) { perf.RunAreaBenchmarks(b, "lint") }

@@ -1,0 +1,16 @@
+// clock.go may touch the real clock: it implements the injectable Clock
+// everything else must go through.
+package core
+
+import "time"
+
+// Clock is the injection seam (mirrors core.Clock).
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                         { return time.Now() }
+func (systemClock) After(d time.Duration) <-chan time.Time { return time.After(d) }

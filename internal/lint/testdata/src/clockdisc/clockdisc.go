@@ -1,0 +1,21 @@
+// Package core poses as deta/internal/core for the clockdisc fixture:
+// direct calls into package time's clock surface (readings, sleeps, timer
+// constructors) bypass the injectable Clock and are findings everywhere
+// except clock.go.
+package core
+
+import "time"
+
+var start time.Time
+
+func deadlines(d time.Duration) {
+	_ = time.Now()   // want clockdisc
+	time.Sleep(d)    // want clockdisc
+	<-time.After(d)  // want clockdisc
+	_ = time.Since(start) // want clockdisc
+	tk := time.NewTicker(d) // want clockdisc
+	tk.Stop()
+	tm := time.NewTimer(d) // want clockdisc
+	tm.Stop()
+	time.AfterFunc(d, func() {}) // want clockdisc
+}

@@ -1,0 +1,17 @@
+// Clean shapes: time flows through the injected Clock, and computing WITH
+// time values (conversions, arithmetic, formatting) is not a clock read.
+// No want markers in this file.
+package core
+
+import "time"
+
+func viaClock(c Clock, d time.Duration) time.Time {
+	<-c.After(d)
+	return c.Now()
+}
+
+func arithmetic(t time.Time, d time.Duration) time.Time {
+	u := time.Unix(42, 0)
+	_ = u.Add(d).Format(time.RFC3339)
+	return t.Add(d)
+}

@@ -1,0 +1,19 @@
+// Unreachable functions may use the clock, the global rand, goroutines,
+// and raw map iteration freely: replaypure scopes its checks to the
+// replay-reachable set. No want markers in this file.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func notReachable(n *node) {
+	_ = time.Now()
+	_ = time.Since(time.Time{})
+	n.sum += rand.Float64()
+	go background(n)
+	for _, v := range n.vals {
+		n.sum += v
+	}
+}

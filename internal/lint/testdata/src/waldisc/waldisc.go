@@ -1,0 +1,147 @@
+// Package core poses as deta/internal/core for the waldisc fixture: every
+// durable AggregatorNode/roundState mutation must be dominated by a
+// journal append of sufficient strength. Each want marker is an
+// ack-before-durability defect; the clean shapes live in waldisc_clean.go.
+package core
+
+// Journal mirrors the WAL surface waldisc recognizes by receiver type.
+type Journal struct{ synced bool }
+
+func (j *Journal) Append(typ byte, data []byte) error { return nil }
+func (j *Journal) AppendNoSync(typ byte, data []byte) error {
+	j.synced = false
+	return nil
+}
+func (j *Journal) Compact() error { return nil }
+
+type roundState struct {
+	fragments  map[string][]float64
+	weights    map[string]float64
+	aggregated []float64
+	openedAt   int64 // ephemeral: recovery restamps it
+}
+
+type AggregatorNode struct {
+	parties        map[string]bool
+	rounds         map[int]*roundState
+	evicted        map[string]bool
+	quorum         int
+	retention      int
+	lastAggregated int
+
+	journal *Journal
+	clock   int64 // ephemeral
+}
+
+func newRoundState() *roundState {
+	return &roundState{fragments: map[string][]float64{}, weights: map[string]float64{}}
+}
+
+func (a *AggregatorNode) logFragmentDurable(typ byte, party string, round int, frag []float64, weight float64) error {
+	return a.journal.Append(typ, nil)
+}
+
+func (a *AggregatorNode) logEvent(typ byte, party string) {
+	_ = a.journal.AppendNoSync(typ, []byte(party))
+}
+
+// Upload is the acceptance-criterion case: the round-creation insert has
+// been deliberately reordered ahead of the durable append, so a crash
+// after the ack would leave a round the journal never heard of.
+func (a *AggregatorNode) Upload(party string, round int, frag []float64, weight float64) error {
+	rs, ok := a.rounds[round]
+	if !ok {
+		rs = newRoundState()
+		a.rounds[round] = rs // want waldisc
+	}
+	if err := a.logFragmentDurable(1, party, round, frag, weight); err != nil {
+		return err
+	}
+	rs.fragments[party] = frag
+	rs.weights[party] = weight
+	return nil
+}
+
+// StoreUnchecked discards the durable append's error, demoting it to
+// best-effort — not enough for the payload maps.
+func (a *AggregatorNode) StoreUnchecked(party string, round int, frag []float64) {
+	rs := a.rounds[round]
+	a.logFragmentDurable(1, party, round, frag, 1)
+	rs.fragments[party] = frag // want waldisc
+}
+
+// SetQuorumFlaky only appends on one branch: the branch head does not
+// dominate the mutation.
+func (a *AggregatorNode) SetQuorumFlaky(n int, loud bool) {
+	if loud {
+		a.logEvent(2, "")
+	}
+	a.quorum = n // want waldisc
+}
+
+// BumpRetention mutates through IncDecStmt with no append anywhere.
+func (a *AggregatorNode) BumpRetention() {
+	a.retention++ // want waldisc
+}
+
+// admit is an unexported helper: its unguarded membership write becomes a
+// summary that surfaces at call sites, not here.
+func (a *AggregatorNode) admit(party string) {
+	a.parties[party] = true
+}
+
+// RegisterLoose calls the helper with no append in sight: the summary
+// mutation is reported at the call.
+func (a *AggregatorNode) RegisterLoose(party string) {
+	a.admit(party) // want waldisc
+}
+
+// RegisterJournaled guards the same helper call with a same-block append.
+func (a *AggregatorNode) RegisterJournaled(party string) {
+	a.logEvent(1, party)
+	a.admit(party)
+}
+
+// journalChecked appends (checked) on every path through its body: the
+// backward must-solver classifies it a strength-2 guard wrapper.
+func (a *AggregatorNode) journalChecked(typ byte, data []byte) error {
+	if len(data) > 1024 {
+		if err := a.journal.Append(typ, data[:1024]); err != nil {
+			return err
+		}
+		return nil
+	}
+	if err := a.journal.Append(typ, data); err != nil {
+		return err
+	}
+	return nil
+}
+
+// AggregateVia relies on the wrapper: checked call to journalChecked
+// dominates the aggregate write, so this is clean.
+func (a *AggregatorNode) AggregateVia(round int, out []float64) error {
+	rs := a.rounds[round]
+	if err := a.journalChecked(9, nil); err != nil {
+		return err
+	}
+	rs.aggregated = out
+	return nil
+}
+
+// journalMaybe skips the append when journaling is off: some path through
+// the body appends nothing, so it is NOT a guard wrapper.
+func (a *AggregatorNode) journalMaybe(typ byte, data []byte) error {
+	if a.journal == nil {
+		return nil
+	}
+	return a.journal.Append(typ, data)
+}
+
+// DropRoundMaybe trusts the non-wrapper: the delete stays unguarded.
+func (a *AggregatorNode) DropRoundMaybe(round int) error {
+	if err := a.journalMaybe(7, nil); err != nil {
+		return err
+	}
+	delete(a.rounds, round) // want waldisc
+	return nil
+}

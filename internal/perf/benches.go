@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -11,6 +14,7 @@ import (
 	"deta/internal/attest"
 	"deta/internal/core"
 	"deta/internal/journal"
+	"deta/internal/lint"
 	"deta/internal/paillier"
 	"deta/internal/rng"
 	"deta/internal/sev"
@@ -223,6 +227,61 @@ func journalBenches() []Bench {
 				}
 			}
 		}},
+	}
+}
+
+// ---- lint: the static-analysis suite over the module itself -----------
+
+// lintBenchState caches the loaded, type-checked module tree across
+// iterations and runs: go-list + type-checking is one-time setup cost,
+// while the baseline tracks the analysis cost — the part the
+// protocol-invariant tier (CFG + dominators + must-flow + call-graph
+// summaries) made meaningfully more expensive and worth pinning.
+var lintBenchState struct {
+	once sync.Once
+	pkgs []*lint.Package
+	err  error
+}
+
+func lintBenches() []Bench {
+	return []Bench{
+		{
+			Name: "lint/Suite/module",
+			F: func(b *testing.B) {
+				lintBenchState.once.Do(func() {
+					root, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+					if err != nil {
+						lintBenchState.err = fmt.Errorf("perf: locating module root: %w", err)
+						return
+					}
+					lintBenchState.pkgs, lintBenchState.err = lint.NewLoader().Load(
+						strings.TrimSpace(string(root)), "./...")
+				})
+				if lintBenchState.err != nil {
+					b.Fatal(lintBenchState.err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Fresh analyzer instances each iteration: Prepare-phase
+					// work (call graphs, alloc summaries, lock classes) is
+					// part of what a real deta-lint run pays.
+					lint.Run(lintBenchState.pkgs, lint.All())
+				}
+			},
+			// Analysis time necessarily grows with the tree being linted,
+			// so this area belongs on the advisory (warn-only) list in
+			// check.sh/CI, not the hard gate: the baseline exists to make
+			// an accidental superlinear blowup visible, not to tax every
+			// PR that adds code.
+			Cleanup: func() {
+				// Drop the type-checked module tree and collect it NOW:
+				// left alive, its scan work alone slows every allocating
+				// bench in the areas measured after this one.
+				lintBenchState.pkgs, lintBenchState.err = nil, nil
+				lintBenchState.once = sync.Once{}
+				runtime.GC()
+			},
+		},
 	}
 }
 

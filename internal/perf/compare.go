@@ -9,9 +9,10 @@ import (
 // compare.go is the regression gate: it pairs a fresh suite run against a
 // checked-in baseline and applies noise-tolerant rules — a relative ns/op
 // threshold backed by an absolute floor (so a 5ns wiggle on a 15ns bench
-// is not a "regression"), an absolute allocs/op allowance, and per-bench
-// exemptions carried in the baseline (Result.Ignore) or supplied by the
-// caller.
+// is not a "regression"), an allocs/op allowance backed by a relative
+// backstop (so a few-allocation wobble on a 400k-alloc bench is not one
+// either), and per-bench exemptions carried in the baseline
+// (Result.Ignore) or supplied by the caller.
 
 // Thresholds configures the gate. The zero value is unusable; start from
 // DefaultThresholds.
@@ -23,15 +24,22 @@ type Thresholds struct {
 	MinNsDelta float64
 	// MaxAllocsDelta is the allowed absolute allocs/op growth.
 	MaxAllocsDelta int64
+	// MaxAllocsPct is the relative allocs/op growth a regression must
+	// ALSO exceed — the mirror of MinNsDelta: on a bench doing hundreds
+	// of thousands of allocations per op (the lint suite), a
+	// few-allocation wobble trips any useful absolute allowance while
+	// meaning nothing. A zero-alloc baseline skips the relative rule
+	// (any growth is infinite percent).
+	MaxAllocsPct float64
 	// Ignore exempts bench names supplied at compare time, on top of the
 	// Ignore flags recorded in the baseline itself.
 	Ignore map[string]bool
 }
 
 // DefaultThresholds returns the gate used by deta-bench and CI: +30%
-// ns/op (and at least +50ns), +2 allocs/op.
+// ns/op (and at least +50ns), +2 allocs/op (and at least +1%).
 func DefaultThresholds() Thresholds {
-	return Thresholds{MaxNsPct: 30, MinNsDelta: 50, MaxAllocsDelta: 2}
+	return Thresholds{MaxNsPct: 30, MinNsDelta: 50, MaxAllocsDelta: 2, MaxAllocsPct: 1}
 }
 
 // Delta is one bench's baseline-vs-fresh comparison.
@@ -95,7 +103,8 @@ func Compare(base, fresh []Result, th Thresholds) []Delta {
 		case d.NsPct > th.MaxNsPct && f.NsPerOp-b.NsPerOp >= th.MinNsDelta:
 			d.Regressed = true
 			d.Reason = fmt.Sprintf("ns/op +%.1f%% exceeds +%.0f%%", d.NsPct, th.MaxNsPct)
-		case d.AllocsDelta > th.MaxAllocsDelta:
+		case d.AllocsDelta > th.MaxAllocsDelta &&
+			(b.AllocsPerOp <= 0 || float64(d.AllocsDelta)/float64(b.AllocsPerOp)*100 > th.MaxAllocsPct):
 			d.Regressed = true
 			d.Reason = fmt.Sprintf("allocs/op +%d exceeds +%d", d.AllocsDelta, th.MaxAllocsDelta)
 		}

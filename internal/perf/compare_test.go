@@ -110,6 +110,25 @@ func TestCompareAllocsRegression(t *testing.T) {
 	}
 }
 
+// TestCompareAllocsRelativeBackstop pins the scale-aware half of the
+// allocs rule: on a bench doing hundreds of thousands of allocations per
+// op (the lint suite), a wobble of dozens clears the absolute allowance
+// but is far under the relative backstop and must not gate — while real
+// growth past both thresholds still does.
+func TestCompareAllocsRelativeBackstop(t *testing.T) {
+	base := []Result{{Bench: "fix/Huge", NsPerOp: 1e8, AllocsPerOp: 400000, Iterations: 3}}
+	jitter := []Result{{Bench: "fix/Huge", NsPerOp: 1e8, AllocsPerOp: 400070, Iterations: 3}}
+	if deltas := Compare(base, jitter, DefaultThresholds()); Regressions(deltas) != 0 {
+		t.Errorf("+70 allocs on a 400k-alloc bench gated: %+v", deltas)
+	}
+	grown := []Result{{Bench: "fix/Huge", NsPerOp: 1e8, AllocsPerOp: 440000, Iterations: 3}}
+	deltas := Compare(base, grown, DefaultThresholds())
+	d := findDelta(t, deltas, "fix/Huge")
+	if !d.Regressed || !strings.Contains(d.Reason, "allocs/op") {
+		t.Errorf("+10%% allocs growth not gated: %+v", d)
+	}
+}
+
 func TestCompareMissingAndNew(t *testing.T) {
 	base := loadFixture(t)
 	var fresh []Result

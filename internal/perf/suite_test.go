@@ -12,8 +12,8 @@ func TestAreasSortedAndResolvable(t *testing.T) {
 	if !sort.StringsAreSorted(areas) {
 		t.Errorf("areas not sorted: %v", areas)
 	}
-	if len(areas) != 5 {
-		t.Errorf("%d areas, want 5: %v", len(areas), areas)
+	if len(areas) != 6 {
+		t.Errorf("%d areas, want 6: %v", len(areas), areas)
 	}
 	seen := map[string]string{}
 	for _, area := range areas {

@@ -92,8 +92,24 @@ func readFrame(r io.Reader, v any) error {
 	if err != nil {
 		return err
 	}
-	return gob.NewDecoder(bytes.NewReader(body)).Decode(v)
+	// The decode copies every field out of body (gob never aliases its
+	// input), so the buffer's lifetime ends here and it can go back to
+	// the pool even on decode error.
+	err = gob.NewDecoder(bytes.NewReader(body)).Decode(v)
+	putBody(body)
+	return err
 }
+
+// bodySeed is the pooled frame-body buffer size: every body at or under
+// it (all control traffic and typical fragment frames) is read into a
+// recycled buffer, and it doubles as the trust granularity for oversized
+// length prefixes (see readBody).
+const bodySeed = 64 << 10
+
+// bodyPool recycles the seed-sized body buffers. Fixed-size array
+// pointers rather than slices, so Put never allocates a slice header and
+// a shrunk or re-sliced buffer can't poison the pool.
+var bodyPool = sync.Pool{New: func() any { return new([bodySeed]byte) }}
 
 // readBody reads an n-byte frame body, growing the buffer geometrically
 // as bytes actually arrive instead of trusting the length prefix up
@@ -103,18 +119,24 @@ func readFrame(r io.Reader, v any) error {
 // allocation. Applies identically whether the body carries a gob envelope
 // or a fixed-layout codec payload.
 //
+// Bodies up to bodySeed come from bodyPool; the caller must hand the
+// returned slice to putBody when done with it (oversized bodies are
+// allocated fresh and putBody ignores them).
+//
 //perf:hotpath
 func readBody(r io.Reader, n int) ([]byte, error) {
-	const seed = 64 << 10
-	if n <= seed {
-		body := make([]byte, n)
+	buf := bodyPool.Get().(*[bodySeed]byte)
+	if n <= bodySeed {
+		body := buf[:n]
 		if _, err := io.ReadFull(r, body); err != nil {
+			bodyPool.Put(buf)
 			return nil, err
 		}
 		return body, nil
 	}
-	body := make([]byte, seed)
+	body := buf[:bodySeed]
 	if _, err := io.ReadFull(r, body); err != nil {
+		bodyPool.Put(buf)
 		return nil, err
 	}
 	for len(body) < n {
@@ -122,15 +144,32 @@ func readBody(r io.Reader, n int) ([]byte, error) {
 		if next > n {
 			next = n
 		}
+		//lint:ignore allocfree oversized-frame grow path: >64 KiB bodies are rare, and the doubling is what keeps a hostile length prefix from costing a giant up-front allocation
 		grown := make([]byte, next)
-		copy(grown, body)
-		read := len(body)
+		read := copy(grown, body)
+		if read == bodySeed {
+			// The seed chunk has been copied out; recycle it now so an
+			// error mid-grow doesn't strand the pooled buffer.
+			bodyPool.Put(buf)
+		}
 		body = grown
 		if _, err := io.ReadFull(r, body[read:]); err != nil {
 			return nil, err
 		}
 	}
 	return body, nil
+}
+
+// putBody returns a readBody buffer to the pool. Only exactly seed-sized
+// backing arrays are pooled: oversized grow-path buffers (and anything
+// else) are left to the GC.
+//
+//perf:hotpath
+func putBody(b []byte) {
+	if cap(b) != bodySeed {
+		return
+	}
+	bodyPool.Put((*[bodySeed]byte)(b[:bodySeed]))
 }
 
 // Handler processes one request body and returns a response body.

@@ -30,8 +30,8 @@ go test -race -count=1 -run 'TestChaosChurnEvictRejoinBitIdentical' -v ./interna
 echo "== perf vs tracked baselines: data-plane areas gate hard"
 go run ./cmd/deta-bench -perf -perf-area core,transport,paillier -perf-baseline .
 
-echo "== perf vs tracked baselines: storage-bound areas (warn-only: fsync is machine-dependent)"
-go run ./cmd/deta-bench -perf -perf-area agg,journal -perf-baseline . ||
+echo "== perf vs tracked baselines: advisory areas (warn-only: fsync is machine-dependent, lint cost tracks tree size)"
+go run ./cmd/deta-bench -perf -perf-area agg,journal,lint -perf-baseline . ||
 	echo "WARNING: perf regression vs BENCH_*.json baselines (exit $?)." \
 		"Investigate, or refresh with: go run ./cmd/deta-bench -perf -perf-baseline-write"
 
